@@ -1,0 +1,45 @@
+//! Criterion benchmarks: per-program runtime of the prover's successful
+//! configurations (the timing shape discussed in Section 6: RevTerm's
+//! successful configurations are cheap, single-shot synthesis calls) and of
+//! the two structural building blocks, lowering and reversal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revterm::{prove, ProverConfig};
+use revterm_lang::parse_program;
+use revterm_suite::{APERIODIC, RUNNING_EXAMPLE};
+use revterm_ts::{lower, Assertion};
+
+fn bench_prover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prove_non_termination");
+    group.sample_size(10);
+    for (name, src) in [
+        ("fig1_running_example", RUNNING_EXAMPLE),
+        ("fig3_aperiodic", APERIODIC),
+        ("simple_counter_up", "while x >= 0 do x := x + 1; od"),
+    ] {
+        let ts = lower(&parse_program(src).unwrap()).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result = prove(&ts, &ProverConfig::default());
+                assert!(result.is_non_terminating());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural");
+    let program = parse_program(RUNNING_EXAMPLE).unwrap();
+    group.bench_function("lower_running_example", |b| {
+        b.iter(|| lower(&program).unwrap())
+    });
+    let ts = lower(&program).unwrap();
+    group.bench_function("reverse_running_example", |b| {
+        b.iter(|| ts.reverse(Assertion::tautology()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prover, bench_structure);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Reproduces **Table 2** of the paper: the StarExec comparison adding the
+//! LoAT and AProVE stand-ins to the Table 1 line-up.
+
+use revterm_baselines::table_baselines;
+use revterm_bench::*;
+
+fn main() {
+    let suite = table_suite();
+    println!(
+        "Table 2 reproduction on {} benchmarks ({} expected NO)",
+        suite.len(),
+        suite
+            .iter()
+            .filter(|b| b.expected == revterm_suite::Expected::NonTerminating)
+            .count()
+    );
+
+    let revterm_runs = run_revterm(&suite, &revterm::quick_sweep(), 1);
+    let baseline_runs: Vec<(String, Vec<BaselineRun>)> = table_baselines()
+        .into_iter()
+        .map(|(name, prover)| (name.to_string(), run_baseline(&suite, prover.as_ref())))
+        .collect();
+
+    // Unique-NO computation needs every other tool's NO set.
+    let revterm_nos = revterm_no_set(&revterm_runs);
+    let all_baseline_nos: Vec<Vec<String>> =
+        baseline_runs.iter().map(|(_, runs)| baseline_no_set(runs)).collect();
+
+    let mut columns = Vec::new();
+    columns.push(revterm_column(&revterm_runs, &all_baseline_nos));
+    for (i, (name, runs)) in baseline_runs.iter().enumerate() {
+        let mut others: Vec<Vec<String>> = vec![revterm_nos.clone()];
+        for (j, set) in all_baseline_nos.iter().enumerate() {
+            if i != j {
+                others.push(set.clone());
+            }
+        }
+        columns.push(baseline_column(name, runs, &others));
+    }
+    print_tool_table("Table 2: RevTerm vs LoAT*/AProVE*/Ultimate*/VeryMax*", &columns);
+}

@@ -1,0 +1,267 @@
+//! Shared infrastructure for the table-reproduction harness.
+//!
+//! Each table of the paper's evaluation (Section 6 and Appendix B) has a
+//! dedicated binary in `src/bin/` that runs the relevant experiment on the
+//! benchmark suite of `revterm-suite` and prints the table in the same format
+//! as the paper.  This library holds the plumbing they share: running the
+//! RevTerm configuration sweep and the baseline provers on every benchmark
+//! and aggregating the NO / YES / MAYBE counts, unique NOs and timing
+//! statistics.
+//!
+//! Scale note: the paper uses the 335-program TermComp'19 suite with a 60 s
+//! timeout per configuration on a Xeon server; this reproduction uses the
+//! substitute suite described in `DESIGN.md` with per-program work bounded by
+//! the prover's internal budgets, so absolute counts and times differ while
+//! the comparison structure is preserved (see `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+
+use revterm::{sweep, ProverConfig, SweepReport};
+use revterm_baselines::{BaselineProver, BaselineVerdict, RankingProver};
+use revterm_suite::{Benchmark, Expected};
+use std::time::Duration;
+
+/// Result of running RevTerm (a configuration sweep) on one benchmark.
+#[derive(Debug, Clone)]
+pub struct RevTermRun {
+    /// The benchmark name.
+    pub name: String,
+    /// Ground truth.
+    pub expected: Expected,
+    /// The sweep report.
+    pub report: SweepReport,
+}
+
+/// Result of running one baseline on one benchmark.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// The benchmark name.
+    pub name: String,
+    /// Ground truth.
+    pub expected: Expected,
+    /// The verdict.
+    pub verdict: BaselineVerdict,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Runs the RevTerm sweep on every benchmark.
+pub fn run_revterm(suite: &[Benchmark], configs: &[ProverConfig], stop_after: usize) -> Vec<RevTermRun> {
+    suite
+        .iter()
+        .map(|b| {
+            let ts = b.transition_system();
+            let report = sweep(&ts, configs, stop_after);
+            // Soundness cross-check against the ground truth.
+            if report.proved() {
+                assert_ne!(
+                    b.expected,
+                    Expected::Terminating,
+                    "soundness violation: {} proved non-terminating but labelled terminating",
+                    b.name
+                );
+            }
+            RevTermRun { name: b.name.to_string(), expected: b.expected, report }
+        })
+        .collect()
+}
+
+/// Runs a baseline prover (for NO answers) together with the ranking prover
+/// (for YES answers) on every benchmark, mimicking a combined
+/// termination/non-termination tool.
+pub fn run_baseline(suite: &[Benchmark], prover: &dyn BaselineProver) -> Vec<BaselineRun> {
+    let ranking = RankingProver;
+    suite
+        .iter()
+        .map(|b| {
+            let ts = b.transition_system();
+            let nt = prover.analyze(&ts);
+            let (verdict, elapsed) = match nt.verdict {
+                BaselineVerdict::NonTerminating => (BaselineVerdict::NonTerminating, nt.elapsed),
+                _ => {
+                    let term = ranking.analyze(&ts);
+                    match term.verdict {
+                        BaselineVerdict::Terminating => {
+                            (BaselineVerdict::Terminating, nt.elapsed + term.elapsed)
+                        }
+                        _ => (BaselineVerdict::Unknown, nt.elapsed + term.elapsed),
+                    }
+                }
+            };
+            if verdict == BaselineVerdict::NonTerminating {
+                assert_ne!(b.expected, Expected::Terminating, "baseline soundness violation on {}", b.name);
+            }
+            if verdict == BaselineVerdict::Terminating {
+                assert_ne!(b.expected, Expected::NonTerminating, "baseline soundness violation on {}", b.name);
+            }
+            BaselineRun {
+                name: b.name.to_string(),
+                expected: b.expected,
+                verdict,
+                elapsed,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate statistics in the shape of the paper's Tables 1 and 2 rows.
+#[derive(Debug, Clone, Default)]
+pub struct ToolColumn {
+    /// Tool name.
+    pub tool: String,
+    /// Benchmarks proved non-terminating.
+    pub no: usize,
+    /// Benchmarks proved terminating.
+    pub yes: usize,
+    /// Benchmarks with no verdict.
+    pub maybe: usize,
+    /// Benchmarks proved non-terminating by this tool only.
+    pub unique_no: usize,
+    /// Average time over all solved benchmarks (seconds).
+    pub avg_time: f64,
+    /// Standard deviation of the time over all solved benchmarks (seconds).
+    pub std_time: f64,
+    /// Average time over NO-answers only (seconds).
+    pub avg_time_no: f64,
+    /// Standard deviation over NO-answers only (seconds).
+    pub std_time_no: f64,
+}
+
+fn mean_std(times: &[f64]) -> (f64, f64) {
+    if times.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Builds a [`ToolColumn`] for RevTerm from sweep results.  As in the paper,
+/// the per-benchmark time is the time of the fastest successful configuration
+/// (RevTerm's configurations are independent and would be run in parallel).
+pub fn revterm_column(runs: &[RevTermRun], no_sets: &[Vec<String>]) -> ToolColumn {
+    let proved: Vec<&RevTermRun> = runs.iter().filter(|r| r.report.proved()).collect();
+    let times: Vec<f64> = proved
+        .iter()
+        .map(|r| r.report.fastest_success().map(|o| o.elapsed.as_secs_f64()).unwrap_or(0.0))
+        .collect();
+    let (avg, std) = mean_std(&times);
+    let mine: Vec<String> = proved.iter().map(|r| r.name.clone()).collect();
+    let unique = mine
+        .iter()
+        .filter(|n| !no_sets.iter().any(|other| other.contains(n)))
+        .count();
+    ToolColumn {
+        tool: "RevTerm".to_string(),
+        no: proved.len(),
+        yes: 0,
+        maybe: runs.len() - proved.len(),
+        unique_no: unique,
+        avg_time: avg,
+        std_time: std,
+        avg_time_no: avg,
+        std_time_no: std,
+    }
+}
+
+/// Builds a [`ToolColumn`] for a baseline tool.
+pub fn baseline_column(tool: &str, runs: &[BaselineRun], no_sets: &[Vec<String>]) -> ToolColumn {
+    let no: Vec<&BaselineRun> = runs.iter().filter(|r| r.verdict == BaselineVerdict::NonTerminating).collect();
+    let yes = runs.iter().filter(|r| r.verdict == BaselineVerdict::Terminating).count();
+    let solved_times: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.verdict != BaselineVerdict::Unknown)
+        .map(|r| r.elapsed.as_secs_f64())
+        .collect();
+    let no_times: Vec<f64> = no.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+    let (avg, std) = mean_std(&solved_times);
+    let (avg_no, std_no) = mean_std(&no_times);
+    let mine: Vec<String> = no.iter().map(|r| r.name.clone()).collect();
+    let unique = mine
+        .iter()
+        .filter(|n| !no_sets.iter().any(|other| other.contains(n)))
+        .count();
+    ToolColumn {
+        tool: tool.to_string(),
+        no: no.len(),
+        yes,
+        maybe: runs.len() - no.len() - yes,
+        unique_no: unique,
+        avg_time: avg,
+        std_time: std,
+        avg_time_no: avg_no,
+        std_time_no: std_no,
+    }
+}
+
+/// The names of benchmarks a RevTerm sweep proved non-terminating.
+pub fn revterm_no_set(runs: &[RevTermRun]) -> Vec<String> {
+    runs.iter().filter(|r| r.report.proved()).map(|r| r.name.clone()).collect()
+}
+
+/// The names of benchmarks a baseline proved non-terminating.
+pub fn baseline_no_set(runs: &[BaselineRun]) -> Vec<String> {
+    runs.iter()
+        .filter(|r| r.verdict == BaselineVerdict::NonTerminating)
+        .map(|r| r.name.clone())
+        .collect()
+}
+
+/// Prints a table of tool columns in the layout of the paper's Tables 1/2.
+pub fn print_tool_table(title: &str, columns: &[ToolColumn]) {
+    println!("\n=== {title} ===");
+    print!("{:<18}", "");
+    for c in columns {
+        print!("{:>14}", c.tool);
+    }
+    println!();
+    let row = |label: &str, f: &dyn Fn(&ToolColumn) -> String| {
+        print!("{:<18}", label);
+        for c in columns {
+            print!("{:>14}", f(c));
+        }
+        println!();
+    };
+    row("NO", &|c| c.no.to_string());
+    row("YES", &|c| c.yes.to_string());
+    row("MAYBE", &|c| c.maybe.to_string());
+    row("Unique NO", &|c| c.unique_no.to_string());
+    row("Avg. time", &|c| format!("{:.2}s", c.avg_time));
+    row("Std. dev.", &|c| format!("{:.2}s", c.std_time));
+    row("Avg. time NO", &|c| format!("{:.2}s", c.avg_time_no));
+    row("Std. dev. NO", &|c| format!("{:.2}s", c.std_time_no));
+}
+
+/// A reduced configuration grid for the per-configuration tables (Tables 3
+/// and 4): sweeping the full paper grid with exact arithmetic on every
+/// benchmark would take hours; the reduced grid keeps the axes (check,
+/// strategy, template size) while bounding the cell count.
+pub fn table_sweep_configs() -> Vec<ProverConfig> {
+    use revterm::{CheckKind, Strategy};
+    use revterm_invgen::TemplateParams;
+    let mut configs = Vec::new();
+    for &check in &[CheckKind::Check1, CheckKind::Check2] {
+        for &strategy in &[Strategy::Houdini, Strategy::GuardPropagation] {
+            for &(c, d, deg) in &[(1usize, 1usize, 1u32), (2, 1, 1), (3, 2, 2)] {
+                configs.push(ProverConfig {
+                    check,
+                    strategy,
+                    params: TemplateParams::new(c, d, deg),
+                    ..ProverConfig::default()
+                });
+            }
+        }
+    }
+    configs
+}
+
+/// Returns the benchmark suite used by the tables.  Setting the environment
+/// variable `REVTERM_BENCH_FAST=1` restricts it to the curated corpus (no
+/// generated instances) to keep CI runs short.
+pub fn table_suite() -> Vec<Benchmark> {
+    if std::env::var("REVTERM_BENCH_FAST").ok().as_deref() == Some("1") {
+        revterm_suite::curated_benchmarks()
+    } else {
+        revterm_suite::full_suite()
+    }
+}

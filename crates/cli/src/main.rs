@@ -1,0 +1,126 @@
+//! The `revterm` command-line tool.
+//!
+//! ```text
+//! revterm <program.rt>            prove non-termination of a program file
+//! revterm --source '<program>'    prove non-termination of an inline program
+//! revterm --suite                 run the prover on the embedded benchmark suite
+//! revterm --list                  list the embedded benchmarks
+//! ```
+//!
+//! Options: `--check1` / `--check2` (default: try both), `--show-ts` prints
+//! the transition system and its reversal before proving.
+
+use revterm::{prove_with_configs, quick_sweep, CheckKind, ProverConfig};
+use revterm_lang::parse_program;
+use revterm_ts::{lower, Assertion};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: revterm [--check1|--check2] [--show-ts] (<file> | --source <program> | --suite | --list)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut check: Option<CheckKind> = None;
+    let mut show_ts = false;
+    let mut source: Option<String> = None;
+    let mut run_suite = false;
+    let mut list = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check1" => check = Some(CheckKind::Check1),
+            "--check2" => check = Some(CheckKind::Check2),
+            "--show-ts" => show_ts = true,
+            "--suite" => run_suite = true,
+            "--list" => list = true,
+            "--source" => match iter.next() {
+                Some(src) => source = Some(src),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            path => match std::fs::read_to_string(path) {
+                Ok(text) => source = Some(text),
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+
+    if list {
+        for b in revterm_suite::full_suite() {
+            println!("{:<28} {:<20} {:?}", b.name, b.family, b.expected);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let configs: Vec<ProverConfig> = match check {
+        Some(kind) => vec![ProverConfig::with_check(kind)],
+        None => quick_sweep(),
+    };
+
+    if run_suite {
+        let mut proved = 0;
+        let suite = revterm_suite::full_suite();
+        for b in &suite {
+            let ts = b.transition_system();
+            let result = prove_with_configs(&ts, &configs);
+            let verdict = if result.is_non_terminating() { "NO (non-terminating)" } else { "MAYBE" };
+            println!(
+                "{:<28} {:<22} [{:?} expected] in {:.2?}",
+                b.name, verdict, b.expected, result.elapsed
+            );
+            if result.is_non_terminating() {
+                proved += 1;
+            }
+        }
+        println!("\nproved non-termination of {proved}/{} benchmarks", suite.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(src) = source else { return usage() };
+    let program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ts = match lower(&program) {
+        Ok(ts) => ts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if show_ts {
+        println!("--- transition system ---\n{}", ts.display());
+        println!(
+            "--- reversed transition system ---\n{}",
+            ts.reverse(Assertion::tautology()).display()
+        );
+    }
+    let result = prove_with_configs(&ts, &configs);
+    match result.certificate() {
+        Some(cert) => {
+            println!(
+                "NO (non-terminating), proved by {} in {:.2?}",
+                result.config_label, result.elapsed
+            );
+            println!("{}", cert.summary(&ts));
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("MAYBE (no non-termination proof found) in {:.2?}", result.elapsed);
+            ExitCode::from(1)
+        }
+    }
+}

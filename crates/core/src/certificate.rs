@@ -1,0 +1,360 @@
+//! Non-termination certificates and their independent validation.
+//!
+//! The two checks of Algorithm 1 produce slightly different artefacts; both
+//! are instances of the paper's BI-certificate `(U, BI, Θ)` (Section 4) and
+//! both are re-validated from scratch before the prover reports
+//! non-termination:
+//!
+//! * **Check 1** returns a resolution of non-determinism `R_NA`, an initial
+//!   valuation `c` and an inductive predicate map `I` of the restricted
+//!   system with `I(ℓ_out) = ∅` and `c ∈ I(ℓ_init)`.  The corresponding
+//!   BI-certificate is `(T_{R_NA}, ¬I, Z^{|V|})` (Theorem A.4 / Theorem 5.3).
+//! * **Check 2** returns a resolution `R_NA`, a conjunctive inductive
+//!   invariant `Ĩ` of the full system, a backward invariant `BI` of
+//!   `T^{r, Ĩ(ℓ_out)}_{R_NA}` and a concrete finite path of the original
+//!   system ending in a configuration of `¬BI`.
+
+use crate::config::CheckKind;
+use revterm_invgen::{initiation_holds, is_inductive, predicate_entails};
+use revterm_poly::Poly;
+use revterm_solver::{implies_false, EntailmentOptions};
+use revterm_ts::interp::{is_initial_valuation, relation_holds, Config, Valuation};
+use revterm_ts::{Assertion, PredicateMap, Resolution, TransitionSystem};
+use std::fmt;
+
+/// A certificate produced by Check 1.
+#[derive(Debug, Clone)]
+pub struct Check1Certificate {
+    /// The resolution of non-determinism defining the proper
+    /// under-approximation `U = T_{R_NA}`.
+    pub resolution: Resolution,
+    /// The inductive predicate map `I` of `U` (with `I(ℓ_out) = ∅`); the
+    /// BI-certificate's backward invariant is its complement `¬I`.
+    pub invariant: PredicateMap,
+    /// The initial valuation `c` contained in `I(ℓ_init)` — the diverging
+    /// configuration witnessing that `¬I` is not an invariant of `T`.
+    pub initial: Valuation,
+}
+
+/// A certificate produced by Check 2.
+#[derive(Debug, Clone)]
+pub struct Check2Certificate {
+    /// The resolution of non-determinism defining `U = T_{R_NA}`.
+    pub resolution: Resolution,
+    /// The conjunctive inductive invariant `Ĩ` of the full system used to
+    /// over-approximate the reachable terminal valuations.
+    pub tilde_invariant: PredicateMap,
+    /// The assertion `Θ = Ĩ(ℓ_out)`.
+    pub theta: Assertion,
+    /// The inductive backward invariant `BI` of `U^{r,Θ}`.
+    pub backward_invariant: PredicateMap,
+    /// A concrete finite path of `T` from an initial configuration to a
+    /// configuration contained in `¬BI` (the safety prover's witness).
+    pub witness_path: Vec<Config>,
+}
+
+/// A validated non-termination certificate.
+#[derive(Debug, Clone)]
+pub enum NonTerminationCertificate {
+    /// Produced by Check 1.
+    Check1(Check1Certificate),
+    /// Produced by Check 2.
+    Check2(Check2Certificate),
+}
+
+impl NonTerminationCertificate {
+    /// Which check produced the certificate.
+    pub fn check_kind(&self) -> CheckKind {
+        match self {
+            NonTerminationCertificate::Check1(_) => CheckKind::Check1,
+            NonTerminationCertificate::Check2(_) => CheckKind::Check2,
+        }
+    }
+
+    /// The resolution of non-determinism of the certificate.
+    pub fn resolution(&self) -> &Resolution {
+        match self {
+            NonTerminationCertificate::Check1(c) => &c.resolution,
+            NonTerminationCertificate::Check2(c) => &c.resolution,
+        }
+    }
+
+    /// A short human-readable summary.
+    pub fn summary(&self, ts: &TransitionSystem) -> String {
+        match self {
+            NonTerminationCertificate::Check1(c) => format!(
+                "Check 1 certificate: resolution [{}], diverging initial configuration ({}, {})",
+                c.resolution.display_with(ts),
+                ts.loc_name(ts.init_loc()),
+                c.initial
+            ),
+            NonTerminationCertificate::Check2(c) => format!(
+                "Check 2 certificate: resolution [{}], Θ = {}, reachable ¬BI configuration {}",
+                c.resolution.display_with(ts),
+                c.theta.display_with(ts.vars()),
+                c.witness_path.last().map(|x| x.to_string()).unwrap_or_default()
+            ),
+        }
+    }
+}
+
+/// Reasons a certificate can fail validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The invariant of a Check 1 certificate is not inductive for the
+    /// restricted system.
+    NotInductive(String),
+    /// A transition into `ℓ_out` is not blocked by a Check 1 invariant.
+    TerminalReachable(usize),
+    /// The claimed initial valuation does not satisfy `Θ_init` or is not
+    /// contained in the invariant at `ℓ_init`.
+    BadInitialValuation,
+    /// `Ĩ` of a Check 2 certificate is not an invariant of the full system.
+    TildeNotInvariant(String),
+    /// `BI` of a Check 2 certificate is not an inductive backward invariant.
+    BackwardNotInvariant(String),
+    /// The witness path of a Check 2 certificate is not a genuine path of the
+    /// system, or does not end in `¬BI`.
+    BadWitnessPath(String),
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::NotInductive(m) => write!(f, "invariant not inductive: {m}"),
+            CertificateError::TerminalReachable(t) => {
+                write!(f, "transition t{t} into the terminal location is not blocked")
+            }
+            CertificateError::BadInitialValuation => write!(f, "invalid initial valuation"),
+            CertificateError::TildeNotInvariant(m) => write!(f, "Ĩ is not an invariant: {m}"),
+            CertificateError::BackwardNotInvariant(m) => {
+                write!(f, "BI is not an inductive backward invariant: {m}")
+            }
+            CertificateError::BadWitnessPath(m) => write!(f, "invalid witness path: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Validates a certificate against the transition system of the program.
+///
+/// This check is independent of the synthesis machinery: it only uses the
+/// exact entailment oracle and the concrete semantics, so a bug in the
+/// synthesis heuristics cannot silently produce an incorrect verdict.
+pub fn validate_certificate(
+    ts: &TransitionSystem,
+    certificate: &NonTerminationCertificate,
+    opts: &EntailmentOptions,
+) -> Result<(), CertificateError> {
+    match certificate {
+        NonTerminationCertificate::Check1(c) => validate_check1(ts, c, opts),
+        NonTerminationCertificate::Check2(c) => validate_check2(ts, c, opts),
+    }
+}
+
+fn validate_check1(
+    ts: &TransitionSystem,
+    cert: &Check1Certificate,
+    opts: &EntailmentOptions,
+) -> Result<(), CertificateError> {
+    let restricted = ts.restrict(&cert.resolution);
+    // (1) I(ℓ_out) must be empty.
+    if !cert.invariant.at(restricted.terminal_loc()).is_empty() {
+        return Err(CertificateError::NotInductive(
+            "I(ℓ_out) must be the empty predicate".into(),
+        ));
+    }
+    // (2) I must be inductive for the restricted system, where transitions
+    //     into ℓ_out are blocked: their premises must be unsatisfiable.
+    let into_terminal: Vec<usize> = restricted
+        .transitions_to(restricted.terminal_loc())
+        .filter(|t| t.source != restricted.terminal_loc())
+        .map(|t| t.id)
+        .collect();
+    if let Err(v) = is_inductive(&restricted, &cert.invariant, opts, &into_terminal) {
+        return Err(CertificateError::NotInductive(v.to_string()));
+    }
+    for &tid in &into_terminal {
+        let t = restricted.transition(tid);
+        for disjunct in cert.invariant.at(t.source).disjuncts() {
+            let mut premises: Vec<Poly> = disjunct.atoms().to_vec();
+            premises.extend(t.relation.atoms().iter().cloned());
+            if !implies_false(&premises, opts) {
+                return Err(CertificateError::TerminalReachable(tid));
+            }
+        }
+    }
+    // (3) The initial valuation satisfies Θ_init and lies in I(ℓ_init).
+    if !is_initial_valuation(ts, &cert.initial)
+        || !cert
+            .invariant
+            .at(ts.init_loc())
+            .holds_int(&cert.initial.assignment())
+    {
+        return Err(CertificateError::BadInitialValuation);
+    }
+    Ok(())
+}
+
+fn validate_check2(
+    ts: &TransitionSystem,
+    cert: &Check2Certificate,
+    opts: &EntailmentOptions,
+) -> Result<(), CertificateError> {
+    // (1) Ĩ is an invariant of T (inductive + initiation), so Θ = Ĩ(ℓ_out)
+    //     over-approximates the reachable terminal valuations.
+    if let Err(v) = is_inductive(ts, &cert.tilde_invariant, opts, &[]) {
+        return Err(CertificateError::TildeNotInvariant(v.to_string()));
+    }
+    if !initiation_holds(ts, &cert.tilde_invariant, opts) {
+        return Err(CertificateError::TildeNotInvariant("initiation fails".into()));
+    }
+    // (2) BI is an inductive backward invariant of U^{r,Θ}.
+    let reversed = ts.restrict(&cert.resolution).reverse(cert.theta.clone());
+    if let Err(v) = is_inductive(&reversed, &cert.backward_invariant, opts, &[]) {
+        return Err(CertificateError::BackwardNotInvariant(v.to_string()));
+    }
+    if !predicate_entails(
+        cert.theta.atoms(),
+        cert.backward_invariant.at(reversed.init_loc()),
+        opts,
+    ) {
+        return Err(CertificateError::BackwardNotInvariant(
+            "Θ is not contained in BI(ℓ_out)".into(),
+        ));
+    }
+    // (3) The witness path is a genuine path of T from an initial
+    //     configuration to a configuration in ¬BI.
+    let path = &cert.witness_path;
+    if path.is_empty() {
+        return Err(CertificateError::BadWitnessPath("empty path".into()));
+    }
+    let first = &path[0];
+    if first.loc != ts.init_loc() || !is_initial_valuation(ts, &first.vals) {
+        return Err(CertificateError::BadWitnessPath(
+            "path does not start in an initial configuration".into(),
+        ));
+    }
+    for (i, window) in path.windows(2).enumerate() {
+        let (a, b) = (&window[0], &window[1]);
+        let connected = ts
+            .transitions_from(a.loc)
+            .filter(|t| t.target == b.loc)
+            .any(|t| relation_holds(ts, &t.relation, &a.vals, &b.vals));
+        if !connected {
+            return Err(CertificateError::BadWitnessPath(format!(
+                "step {i} is not justified by any transition"
+            )));
+        }
+    }
+    let last = path.last().expect("non-empty path");
+    if cert
+        .backward_invariant
+        .at(last.loc)
+        .holds_int(&last.vals.assignment())
+    {
+        return Err(CertificateError::BadWitnessPath(
+            "the final configuration is contained in BI, not in its complement".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_lang::parse_program;
+    use revterm_poly::Var;
+    use revterm_ts::{lower, PropPredicate};
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    /// Builds the Example 5.4 certificate by hand.
+    fn example_54_certificate(ts: &TransitionSystem) -> Check1Certificate {
+        let ndet_id = ts.ndet_transitions().next().unwrap().id;
+        let resolution = Resolution::from_pairs([(ndet_id, Poly::constant_i64(9))]);
+        let mut invariant = PredicateMap::unsatisfiable(ts.num_locs());
+        let x = Poly::var(Var(0));
+        for loc in ts.locations() {
+            if loc != ts.terminal_loc() {
+                invariant.set(
+                    loc,
+                    PropPredicate::from_assertion(Assertion::ge_zero(&x - &Poly::constant_i64(9))),
+                );
+            }
+        }
+        Check1Certificate {
+            resolution,
+            invariant,
+            initial: Valuation::from_i64s(&[9, 0]),
+        }
+    }
+
+    #[test]
+    fn handwritten_example_54_certificate_validates() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let cert = NonTerminationCertificate::Check1(example_54_certificate(&ts));
+        assert_eq!(
+            validate_certificate(&ts, &cert, &EntailmentOptions::default()),
+            Ok(())
+        );
+        assert_eq!(cert.check_kind(), CheckKind::Check1);
+        assert!(cert.summary(&ts).contains("Check 1"));
+    }
+
+    #[test]
+    fn tampered_certificates_are_rejected() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let good = example_54_certificate(&ts);
+        let opts = EntailmentOptions::default();
+
+        // Wrong initial valuation (x = 5 is not diverging and not in I).
+        let mut bad = good.clone();
+        bad.initial = Valuation::from_i64s(&[5, 0]);
+        assert_eq!(
+            validate_certificate(&ts, &NonTerminationCertificate::Check1(bad), &opts),
+            Err(CertificateError::BadInitialValuation)
+        );
+
+        // Wrong resolution (x := 0 makes ℓ_out reachable, so the invariant
+        // x >= 9 is no longer inductive for the restricted system).
+        let mut bad = good.clone();
+        let ndet_id = ts.ndet_transitions().next().unwrap().id;
+        bad.resolution = Resolution::from_pairs([(ndet_id, Poly::constant_i64(0))]);
+        assert!(matches!(
+            validate_certificate(&ts, &NonTerminationCertificate::Check1(bad), &opts),
+            Err(CertificateError::NotInductive(_))
+        ));
+
+        // Keeping I(ℓ_out) non-empty is rejected outright.
+        let mut bad = good;
+        bad.invariant.set(ts.terminal_loc(), PropPredicate::tautology());
+        assert!(matches!(
+            validate_certificate(&ts, &NonTerminationCertificate::Check1(bad), &opts),
+            Err(CertificateError::NotInductive(_))
+        ));
+    }
+
+    #[test]
+    fn check2_certificate_path_replay_is_checked() {
+        // Build a deliberately broken Check 2 certificate: the path does not
+        // start in an initial configuration.
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let cert = Check2Certificate {
+            resolution: Resolution::empty(),
+            tilde_invariant: PredicateMap::tautology(ts.num_locs()),
+            theta: Assertion::tautology(),
+            backward_invariant: PredicateMap::tautology(ts.num_locs()),
+            witness_path: vec![Config::new(ts.terminal_loc(), Valuation::from_i64s(&[0, 0]))],
+        };
+        let err = validate_certificate(
+            &ts,
+            &NonTerminationCertificate::Check2(cert),
+            &EntailmentOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CertificateError::BadWitnessPath(_)));
+    }
+}

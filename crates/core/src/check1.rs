@@ -1,0 +1,178 @@
+//! Check 1 of Algorithm 1.
+//!
+//! Searches for a resolution of non-determinism `R_NA`, an initial
+//! configuration `c` and an inductive invariant `I` of the restricted system
+//! `T_{R_NA}` such that `c ∈ I(ℓ_init)` and `I(ℓ_out) = ∅`.  Success proves
+//! non-termination without any safety-prover call (Section 5.2).
+
+use crate::certificate::{Check1Certificate, NonTerminationCertificate};
+use crate::config::{ProverConfig, Strategy};
+use revterm_invgen::{synthesize_invariant, SampleSet, SynthesisOptions, TemplateParams};
+use revterm_poly::Poly;
+use revterm_safety::{find_initial_valuations, ndet_candidate_values};
+use revterm_solver::implies_false;
+use revterm_ts::interp::{run, Config, Valuation};
+use revterm_ts::{Resolution, TransitionSystem};
+
+/// Enumerates candidate resolutions of non-determinism: every combination
+/// (capped) of candidate polynomials for the non-deterministic assignment
+/// transitions.  Candidate right-hand sides are constants drawn from the
+/// program constants plus, for degree ≥ 1, copies of program variables and
+/// `±1` offsets of them.
+pub(crate) fn candidate_resolutions(ts: &TransitionSystem, config: &ProverConfig) -> Vec<Resolution> {
+    let ndet_ids: Vec<usize> = ts.ndet_transitions().map(|t| t.id).collect();
+    if ndet_ids.is_empty() {
+        return vec![Resolution::empty()];
+    }
+    let mut rhs_candidates: Vec<Poly> = ndet_candidate_values(ts, config.search.grid)
+        .into_iter()
+        .map(|c| Poly::constant(revterm_num::Rat::from(c)))
+        .collect();
+    if config.resolution_degree >= 1 {
+        for i in 0..ts.vars().len() {
+            let x = Poly::var(ts.vars().unprimed(i));
+            rhs_candidates.push(x.clone());
+            rhs_candidates.push(&x + &Poly::one());
+            rhs_candidates.push(&x - &Poly::one());
+            rhs_candidates.push(-x);
+        }
+    }
+    if config.resolution_degree >= 2 {
+        for i in 0..ts.vars().len() {
+            let x = Poly::var(ts.vars().unprimed(i));
+            rhs_candidates.push(&x * &x);
+        }
+    }
+    rhs_candidates.dedup();
+
+    // Cartesian product over the non-deterministic transitions, capped.
+    let mut resolutions: Vec<Resolution> = vec![Resolution::empty()];
+    for &id in &ndet_ids {
+        let mut next = Vec::new();
+        for base in &resolutions {
+            for rhs in &rhs_candidates {
+                let mut r = base.clone();
+                r.set(id, rhs.clone());
+                next.push(r);
+                if next.len() >= config.max_resolutions {
+                    break;
+                }
+            }
+            if next.len() >= config.max_resolutions {
+                break;
+            }
+        }
+        resolutions = next;
+    }
+    resolutions.truncate(config.max_resolutions);
+    resolutions
+}
+
+/// Strategy-dependent synthesis options.
+pub(crate) fn synthesis_options(config: &ProverConfig, forced_false: Option<revterm_ts::Loc>, require_initiation: bool) -> SynthesisOptions {
+    let params = match config.strategy {
+        Strategy::Houdini => config.params,
+        // The guard-propagation strategy restricts the pool to interval atoms
+        // plus guard atoms: modelled by forcing c >= 3 (guard atoms on) but
+        // degree 1 and no octagon pairs (c capped at 1 would remove guards, so
+        // we keep the caller's c but lower the degree).
+        Strategy::GuardPropagation => TemplateParams::new(config.params.c.min(3), 1, 1),
+    };
+    SynthesisOptions {
+        params,
+        entailment: config.entailment.clone(),
+        require_initiation,
+        forced_false,
+        max_iterations: 64,
+    }
+}
+
+/// Runs Check 1 on a transition system.
+///
+/// Returns a validated-by-construction certificate on success; the caller is
+/// expected to re-validate it with
+/// [`crate::validate_certificate`] (the [`crate::prove`] entry point does).
+pub fn check1(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
+    let initials = preferred_initials(ts, config);
+    if initials.is_empty() {
+        return None;
+    }
+    let mut synthesis_budget = 8usize;
+    for resolution in candidate_resolutions(ts, config) {
+        let restricted = ts.restrict(&resolution);
+        for initial in initials.iter().take(config.max_initial_configs) {
+            // Cheap probe: run the (deterministic) restricted system; if it
+            // reaches ℓ_out within the probe bound this initial configuration
+            // is not diverging under this resolution.
+            let start = Config::new(restricted.init_loc(), initial.clone());
+            let trace = run(&restricted, &start, &|_, _| revterm_num::Int::zero(), config.divergence_probe_steps);
+            let reached_terminal = trace
+                .last()
+                .map(|c| c.loc == restricted.terminal_loc())
+                .unwrap_or(false);
+            if reached_terminal || trace.len() <= config.divergence_probe_steps / 2 {
+                continue;
+            }
+            if synthesis_budget == 0 {
+                return None;
+            }
+            synthesis_budget -= 1;
+
+            // Samples: everything the probe visited belongs to the set the
+            // invariant must contain.
+            let mut samples = SampleSet::new();
+            for cfg in &trace {
+                samples.add(cfg.loc, cfg.vals.clone());
+            }
+            let options = synthesis_options(config, Some(restricted.terminal_loc()), false);
+            let invariant = synthesize_invariant(&restricted, &samples, &options);
+
+            // Success condition: every transition into ℓ_out is blocked.
+            let blocked = restricted
+                .transitions_to(restricted.terminal_loc())
+                .filter(|t| t.source != restricted.terminal_loc())
+                .all(|t| {
+                    invariant.at(t.source).disjuncts().iter().all(|d| {
+                        let mut premises: Vec<Poly> = d.atoms().to_vec();
+                        premises.extend(t.relation.atoms().iter().cloned());
+                        implies_false(&premises, &config.entailment)
+                    })
+                });
+            if !blocked {
+                continue;
+            }
+            // The initial valuation is in I(ℓ_init) by sample construction,
+            // but double-check before emitting the certificate.
+            if !invariant.at(restricted.init_loc()).holds_int(&initial.assignment()) {
+                continue;
+            }
+            return Some(NonTerminationCertificate::Check1(Check1Certificate {
+                resolution,
+                invariant,
+                initial: initial.clone(),
+            }));
+        }
+    }
+    None
+}
+
+/// Orders the candidate initial valuations so that valuations from which the
+/// program can take a step *into the program body* (rather than exiting
+/// immediately to `ℓ_out`) come first, and thins the remainder to an evenly
+/// spread sample.  Diverging executions necessarily start by entering the
+/// body, so these candidates are by far the most promising.
+pub(crate) fn preferred_initials(ts: &TransitionSystem, config: &ProverConfig) -> Vec<Valuation> {
+    let all = find_initial_valuations(ts, &config.search);
+    let ndet = ndet_candidate_values(ts, config.search.grid);
+    let (mut preferred, rest): (Vec<Valuation>, Vec<Valuation>) = all.into_iter().partition(|v| {
+        let cfg = Config::new(ts.init_loc(), v.clone());
+        revterm_ts::interp::successors(ts, &cfg, &ndet)
+            .iter()
+            .any(|(_, succ)| succ.loc != ts.terminal_loc())
+    });
+    // Spread the non-preferred remainder (useful when the body is entered
+    // unconditionally and every valuation is "preferred", or none is).
+    let stride = (rest.len() / config.max_initial_configs.max(1)).max(1);
+    preferred.extend(rest.into_iter().step_by(stride));
+    preferred
+}

@@ -1,0 +1,89 @@
+//! Check 2 of Algorithm 1.
+//!
+//! Searches for a resolution of non-determinism `R_NA`, a conjunctive
+//! inductive invariant `Ĩ` of the full system (so that `Θ = Ĩ(ℓ_out)`
+//! over-approximates the reachable terminal valuations), and an inductive
+//! backward invariant `BI` of the reversed restricted system
+//! `T^{r,Θ}_{R_NA}`; a safety query then confirms that some configuration of
+//! `¬BI` is reachable in `T`, which yields a BI-certificate (Section 5.2).
+//!
+//! Unlike the paper's encoding we do not separately require "`BI` is not
+//! inductive w.r.t. some transition of `T`" — that condition is only a
+//! solver-guidance heuristic; the reachability check subsumes it.
+
+use crate::certificate::{Check2Certificate, NonTerminationCertificate};
+use crate::check1::{candidate_resolutions, synthesis_options};
+use crate::config::ProverConfig;
+use revterm_invgen::{synthesize_invariant, SampleSet};
+use revterm_safety::{find_path_to, reachable_samples};
+use revterm_ts::interp::{run, Config};
+use revterm_ts::{Assertion, TransitionSystem};
+
+/// Runs Check 2 on a transition system.
+pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
+    // Step 1: a conjunctive invariant Ĩ of the full system, seeded with
+    // concretely reachable samples.
+    let forward_samples = reachable_samples(ts, &config.search);
+    let mut sample_set = SampleSet::new();
+    for cfg in &forward_samples {
+        sample_set.add(cfg.loc, cfg.vals.clone());
+    }
+    let tilde_options = synthesis_options(config, None, true);
+    let tilde = synthesize_invariant(ts, &sample_set, &tilde_options);
+    let theta: Assertion = match tilde.at(ts.terminal_loc()).disjuncts() {
+        [single] => single.clone(),
+        _ => Assertion::tautology(),
+    };
+
+    // Step 2: per candidate resolution, synthesize a backward invariant of
+    // the reversed restricted system and query reachability of its complement.
+    let mut synthesis_budget = 4usize;
+    for resolution in candidate_resolutions(ts, config) {
+        if synthesis_budget == 0 {
+            break;
+        }
+        let restricted = ts.restrict(&resolution);
+        let reversed = restricted.reverse(theta.clone());
+
+        // Backward samples: configurations from which ℓ_out is reachable in
+        // the restricted system.  We probe forward from the concretely
+        // reachable configurations of T; every configuration on a probe run
+        // that reaches ℓ_out is backward-reachable from ℓ_out in the reversed
+        // system and must therefore be contained in BI.
+        let mut backward_samples = SampleSet::new();
+        let mut any_terminating_probe = false;
+        for cfg in forward_samples.iter().take(400) {
+            let start = Config::new(cfg.loc, cfg.vals.clone());
+            let trace = run(&restricted, &start, &|_, _| revterm_num::Int::zero(), config.divergence_probe_steps);
+            if trace.last().map(|c| c.loc == restricted.terminal_loc()).unwrap_or(false) {
+                any_terminating_probe = true;
+                for visited in trace {
+                    backward_samples.add(visited.loc, visited.vals);
+                }
+            }
+        }
+        if !any_terminating_probe {
+            // Nothing reaches ℓ_out under this resolution within the probe
+            // bounds; Check 1 is the natural route for such resolutions.
+            continue;
+        }
+        synthesis_budget -= 1;
+
+        let bi_options = synthesis_options(config, None, true);
+        let bi = synthesize_invariant(&reversed, &backward_samples, &bi_options);
+
+        // Step 3: the safety query — is some configuration of ¬BI reachable
+        // in the original system?
+        let complement = bi.complement();
+        if let Some(path) = find_path_to(ts, &complement, &config.search) {
+            return Some(NonTerminationCertificate::Check2(Check2Certificate {
+                resolution,
+                tilde_invariant: tilde,
+                theta,
+                backward_invariant: bi,
+                witness_path: path,
+            }));
+        }
+    }
+    None
+}

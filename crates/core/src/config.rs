@@ -1,0 +1,134 @@
+//! Prover configurations (the paper's Section 6 "configurations").
+
+use revterm_invgen::TemplateParams;
+use revterm_safety::SearchBounds;
+use revterm_solver::EntailmentOptions;
+use std::fmt;
+
+/// Which of the two checks of Algorithm 1 to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Check 1: find a resolution of non-determinism, an initial
+    /// configuration and an inductive invariant of the restricted system
+    /// that avoids `ℓ_out` (no safety prover needed).
+    Check1,
+    /// Check 2: find a resolution, an invariant `Ĩ` of the full system, and a
+    /// backward invariant `BI` of the reversed restricted system whose
+    /// complement is reachable (confirmed by the safety prover).
+    Check2,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckKind::Check1 => write!(f, "Check 1"),
+            CheckKind::Check2 => write!(f, "Check 2"),
+        }
+    }
+}
+
+/// The synthesis strategy — this reproduction's stand-in for the paper's
+/// choice of SMT solver (Z3 / MathSAT5 / Barcelogic).
+///
+/// Both strategies are sound (results are verified exactly); they differ in
+/// the candidate space they explore and therefore in coverage and speed,
+/// which is precisely the role the solver axis plays in the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full guess-and-check synthesis over the interval/octagon/guard atom
+    /// pool (the workhorse; analogous to the best-performing solver).
+    Houdini,
+    /// A cheaper pool limited to guard-derived atoms and sample-tight
+    /// interval atoms (faster, less coverage).
+    GuardPropagation,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Houdini => write!(f, "houdini"),
+            Strategy::GuardPropagation => write!(f, "guard-prop"),
+        }
+    }
+}
+
+/// A full prover configuration: which check, which synthesis strategy, the
+/// template parameters `(c, d, D)`, resolution degree and search bounds.
+#[derive(Debug, Clone)]
+pub struct ProverConfig {
+    /// Which check to run.
+    pub check: CheckKind,
+    /// Synthesis strategy (the "SMT solver" axis).
+    pub strategy: Strategy,
+    /// Template parameters for predicate maps.
+    pub params: TemplateParams,
+    /// Maximal degree of the polynomials used to resolve non-determinism.
+    pub resolution_degree: u32,
+    /// Bounds for the explicit-state searches (initial valuations, sampling,
+    /// safety queries).
+    pub search: SearchBounds,
+    /// Entailment budget.
+    pub entailment: EntailmentOptions,
+    /// Maximal number of candidate resolutions of non-determinism tried.
+    pub max_resolutions: usize,
+    /// Maximal number of candidate initial configurations tried per
+    /// resolution (Check 1).
+    pub max_initial_configs: usize,
+    /// Number of interpreter steps used to classify a run as "apparently
+    /// diverging" before attempting invariant synthesis.
+    pub divergence_probe_steps: usize,
+}
+
+impl Default for ProverConfig {
+    fn default() -> Self {
+        ProverConfig {
+            check: CheckKind::Check1,
+            strategy: Strategy::Houdini,
+            params: TemplateParams::new(2, 1, 1),
+            resolution_degree: 1,
+            search: SearchBounds::default(),
+            entailment: EntailmentOptions::default(),
+            max_resolutions: 24,
+            max_initial_configs: 6,
+            divergence_probe_steps: 120,
+        }
+    }
+}
+
+impl ProverConfig {
+    /// A configuration running the given check with default settings.
+    pub fn with_check(check: CheckKind) -> ProverConfig {
+        ProverConfig { check, ..ProverConfig::default() }
+    }
+
+    /// Human-readable label, e.g. `check1/houdini/(c=2,d=1,D=1)`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/(c={},d={},D={})",
+            match self.check {
+                CheckKind::Check1 => "check1",
+                CheckKind::Check2 => "check2",
+            },
+            self.strategy,
+            self.params.c,
+            self.params.d,
+            self.params.degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_defaults() {
+        let c = ProverConfig::default();
+        assert_eq!(c.check, CheckKind::Check1);
+        assert_eq!(c.label(), "check1/houdini/(c=2,d=1,D=1)");
+        let c2 = ProverConfig::with_check(CheckKind::Check2);
+        assert!(c2.label().starts_with("check2/"));
+        assert_eq!(CheckKind::Check1.to_string(), "Check 1");
+        assert_eq!(Strategy::GuardPropagation.to_string(), "guard-prop");
+    }
+}

@@ -1,0 +1,53 @@
+//! RevTerm: proving non-termination by program reversal.
+//!
+//! This crate implements the paper's contribution — Algorithm 1 and the
+//! BI-certificate machinery of Sections 4 and 5 — on top of the substrates
+//! built in the sibling crates:
+//!
+//! * [`revterm_lang`] — the input language,
+//! * [`revterm_ts`] — transition systems, reversal, resolutions of
+//!   non-determinism,
+//! * [`revterm_invgen`] — template-based inductive invariant generation,
+//! * [`revterm_solver`] — the exact Farkas/Handelman entailment oracle,
+//! * [`revterm_safety`] — the bounded safety (reachability) prover.
+//!
+//! # Quick start
+//!
+//! ```
+//! use revterm::{prove, ProverConfig};
+//! use revterm_lang::parse_program;
+//! use revterm_ts::lower;
+//!
+//! // The paper's running example (Fig. 1).
+//! let program = parse_program(
+//!     "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od",
+//! ).unwrap();
+//! let ts = lower(&program).unwrap();
+//! let verdict = prove(&ts, &ProverConfig::default());
+//! assert!(verdict.is_non_terminating());
+//! ```
+//!
+//! Every `NonTerminating` verdict carries a [`NonTerminationCertificate`]
+//! that has already been re-validated by an independent exact checker
+//! ([`validate_certificate`]); the prover never reports non-termination on
+//! the basis of an unchecked synthesis result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod certificate;
+mod check1;
+mod check2;
+mod config;
+mod prover;
+mod sweep;
+
+pub use certificate::{
+    validate_certificate, CertificateError, Check1Certificate, Check2Certificate,
+    NonTerminationCertificate,
+};
+pub use check1::check1;
+pub use check2::check2;
+pub use config::{CheckKind, ProverConfig, Strategy};
+pub use prover::{prove, prove_program, prove_with_configs, ProofResult, Verdict};
+pub use sweep::{default_sweep, quick_sweep, sweep, ConfigOutcome, SweepReport};

@@ -1,0 +1,208 @@
+//! The top-level prover entry points.
+
+use crate::certificate::{validate_certificate, NonTerminationCertificate};
+use crate::check1::check1;
+use crate::check2::check2;
+use crate::config::{CheckKind, ProverConfig};
+use revterm_lang::Program;
+use revterm_ts::{lower, TransitionSystem};
+use std::time::{Duration, Instant};
+
+/// The verdict of a prover run.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Non-termination was proved; the (validated) certificate is attached.
+    NonTerminating(Box<NonTerminationCertificate>),
+    /// The prover could not prove non-termination with this configuration
+    /// (the program may still be non-terminating — the algorithm is sound,
+    /// not complete).
+    Unknown,
+}
+
+/// The result of a prover run: the verdict plus timing information.
+#[derive(Debug, Clone)]
+pub struct ProofResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// The configuration label that produced the verdict.
+    pub config_label: String,
+}
+
+impl ProofResult {
+    /// Returns `true` iff non-termination was proved.
+    pub fn is_non_terminating(&self) -> bool {
+        matches!(self.verdict, Verdict::NonTerminating(_))
+    }
+
+    /// The certificate, if non-termination was proved.
+    pub fn certificate(&self) -> Option<&NonTerminationCertificate> {
+        match &self.verdict {
+            Verdict::NonTerminating(c) => Some(c),
+            Verdict::Unknown => None,
+        }
+    }
+}
+
+/// Proves non-termination of a transition system with a single configuration.
+///
+/// A `NonTerminating` verdict is only returned after the certificate produced
+/// by the check has been independently re-validated; if validation fails
+/// (which would indicate a bug in the synthesis heuristics) the verdict is
+/// downgraded to `Unknown`.
+pub fn prove(ts: &TransitionSystem, config: &ProverConfig) -> ProofResult {
+    let start = Instant::now();
+    let candidate = match config.check {
+        CheckKind::Check1 => check1(ts, config),
+        CheckKind::Check2 => check2(ts, config),
+    };
+    let verdict = match candidate {
+        Some(cert) => match validate_certificate(ts, &cert, &config.entailment) {
+            Ok(()) => Verdict::NonTerminating(Box::new(cert)),
+            Err(_) => Verdict::Unknown,
+        },
+        None => Verdict::Unknown,
+    };
+    ProofResult {
+        verdict,
+        elapsed: start.elapsed(),
+        config_label: config.label(),
+    }
+}
+
+/// Proves non-termination of a transition system, trying several
+/// configurations in order and returning the first success (or `Unknown`
+/// with the cumulative time).
+pub fn prove_with_configs(ts: &TransitionSystem, configs: &[ProverConfig]) -> ProofResult {
+    let start = Instant::now();
+    for config in configs {
+        let result = prove(ts, config);
+        if result.is_non_terminating() {
+            return ProofResult {
+                elapsed: start.elapsed(),
+                ..result
+            };
+        }
+    }
+    ProofResult {
+        verdict: Verdict::Unknown,
+        elapsed: start.elapsed(),
+        config_label: "none".to_string(),
+    }
+}
+
+/// Convenience entry point: lowers a program and proves it with the default
+/// Check 1 / Check 2 pair of configurations.
+///
+/// # Errors
+///
+/// Returns the lowering error message if the program cannot be translated.
+pub fn prove_program(program: &Program, config: &ProverConfig) -> Result<ProofResult, String> {
+    let ts = lower(program).map_err(|e| e.to_string())?;
+    Ok(prove(&ts, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CheckKind, Strategy};
+    use revterm_lang::parse_program;
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    /// Fig. 3 / Appendix C: every non-terminating execution is aperiodic.
+    const APERIODIC: &str =
+        "while x >= 1 do y := 10 * x; while x <= y do x := x + 1; od od";
+
+    /// A scaled-down version of Fig. 2 (bound 3 instead of 99): no initial
+    /// configuration is diverging w.r.t. any constant resolution, but the
+    /// program is non-terminating.
+    const FIG2_SMALL: &str = "n := 0; b := 0; u := 0; \
+        while b == 0 and n <= 3 do \
+          u := ndet(); \
+          if u <= -1 then b := -1; elseif u == 0 then b := 0; else b := 1; fi \
+          n := n + 1; \
+          if n >= 4 and b >= 1 then while true do skip; od fi \
+        od";
+
+    #[test]
+    fn check1_proves_running_example() {
+        let ts = revterm_ts::lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let result = prove(&ts, &ProverConfig::default());
+        assert!(result.is_non_terminating());
+        let cert = result.certificate().unwrap();
+        assert_eq!(cert.check_kind(), CheckKind::Check1);
+        // The certificate summary mentions the resolved assignment.
+        assert!(cert.summary(&ts).contains("x :="));
+    }
+
+    #[test]
+    fn check1_proves_aperiodic_example() {
+        let ts = revterm_ts::lower(&parse_program(APERIODIC).unwrap()).unwrap();
+        let result = prove(&ts, &ProverConfig::default());
+        assert!(result.is_non_terminating(), "Fig. 3 should be proved by Check 1");
+    }
+
+    #[test]
+    fn terminating_programs_stay_unknown() {
+        let ts =
+            revterm_ts::lower(&parse_program("n := 0; while n <= 5 do n := n + 1; od").unwrap())
+                .unwrap();
+        for check in [CheckKind::Check1, CheckKind::Check2] {
+            let result = prove(&ts, &ProverConfig::with_check(check));
+            assert!(!result.is_non_terminating(), "{check} must not claim non-termination");
+        }
+    }
+
+    #[test]
+    fn check2_proves_program_without_initial_diverging_configuration() {
+        let ts = revterm_ts::lower(&parse_program(FIG2_SMALL).unwrap()).unwrap();
+        // Check 1 fails with constant/linear resolutions (Example 5.5's point).
+        let c1 = prove(&ts, &ProverConfig::default());
+        assert!(!c1.is_non_terminating(), "Check 1 should not prove the Fig. 2 family");
+        // Check 2 succeeds.
+        let mut config = ProverConfig::with_check(CheckKind::Check2);
+        config.params = revterm_invgen::TemplateParams::new(3, 1, 1);
+        let c2 = prove(&ts, &config);
+        assert!(c2.is_non_terminating(), "Check 2 should prove the Fig. 2 family");
+        assert_eq!(c2.certificate().unwrap().check_kind(), CheckKind::Check2);
+    }
+
+    #[test]
+    fn guard_propagation_strategy_also_proves_easy_cases() {
+        let ts = revterm_ts::lower(&parse_program("while x >= 0 do x := x + 1; od").unwrap())
+            .unwrap();
+        let config = ProverConfig {
+            strategy: Strategy::GuardPropagation,
+            ..ProverConfig::default()
+        };
+        assert!(prove(&ts, &config).is_non_terminating());
+    }
+
+    #[test]
+    fn prove_program_entry_point() {
+        let program = parse_program("while true do skip; od").unwrap();
+        let result = prove_program(&program, &ProverConfig::default()).unwrap();
+        assert!(result.is_non_terminating());
+        assert!(result.elapsed.as_secs() < 120);
+        assert!(result.config_label.starts_with("check1"));
+    }
+
+    #[test]
+    fn prove_with_configs_tries_until_success() {
+        let ts = revterm_ts::lower(&parse_program(FIG2_SMALL).unwrap()).unwrap();
+        let configs = vec![
+            ProverConfig::default(),
+            ProverConfig {
+                check: CheckKind::Check2,
+                params: revterm_invgen::TemplateParams::new(3, 1, 1),
+                ..ProverConfig::default()
+            },
+        ];
+        let result = prove_with_configs(&ts, &configs);
+        assert!(result.is_non_terminating());
+        assert!(result.config_label.starts_with("check2"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Configuration sweeps (the paper's Section 6 evaluation protocol).
+//!
+//! The paper evaluates RevTerm by running every configuration — a choice of
+//! check, SMT solver and template size `(c, d, D)` — separately and counting
+//! a benchmark as proved non-terminating if *at least one* configuration
+//! succeeds.  [`sweep`] reproduces that protocol and records which
+//! configuration succeeded first together with its runtime, which is the raw
+//! data behind Tables 1–4.
+
+use crate::config::{CheckKind, ProverConfig, Strategy};
+use crate::prover::prove;
+use revterm_invgen::TemplateParams;
+use revterm_ts::TransitionSystem;
+use std::time::Duration;
+
+/// The outcome of one configuration on one benchmark.
+#[derive(Debug, Clone)]
+pub struct ConfigOutcome {
+    /// The configuration label (`check1/houdini/(c=2,d=1,D=1)`).
+    pub label: String,
+    /// Which check the configuration ran.
+    pub check: CheckKind,
+    /// Which strategy (solver stand-in) the configuration used.
+    pub strategy: Strategy,
+    /// The template parameters.
+    pub params: TemplateParams,
+    /// Whether non-termination was proved.
+    pub proved: bool,
+    /// Wall-clock time of this configuration.
+    pub elapsed: Duration,
+}
+
+/// The sweep result for one benchmark.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Per-configuration outcomes, in sweep order.
+    pub outcomes: Vec<ConfigOutcome>,
+}
+
+impl SweepReport {
+    /// Returns `true` iff at least one configuration proved non-termination.
+    pub fn proved(&self) -> bool {
+        self.outcomes.iter().any(|o| o.proved)
+    }
+
+    /// The fastest successful configuration, if any.
+    pub fn fastest_success(&self) -> Option<&ConfigOutcome> {
+        self.outcomes.iter().filter(|o| o.proved).min_by_key(|o| o.elapsed)
+    }
+
+    /// Total time spent across all configurations.
+    pub fn total_elapsed(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.elapsed).sum()
+    }
+
+    /// The successful configurations restricted to a check / strategy cell
+    /// (used by the Table 3 harness).
+    pub fn proved_with(&self, check: CheckKind, strategy: Strategy) -> bool {
+        self.outcomes
+            .iter()
+            .any(|o| o.proved && o.check == check && o.strategy == strategy)
+    }
+
+    /// Whether some configuration with template bounds `c ≤ max_c` and
+    /// `d ≤ max_d` proved the benchmark (used by the Table 4 harness).
+    pub fn proved_within(&self, max_c: usize, max_d: usize, max_degree: u32) -> bool {
+        self.outcomes.iter().any(|o| {
+            o.proved && o.params.c <= max_c && o.params.d <= max_d && o.params.degree <= max_degree
+        })
+    }
+}
+
+/// The default configuration grid of the reproduction: both checks, both
+/// strategies, template sizes `c ∈ {1, 2, 3}`, `d ∈ {1, 2}` and degrees
+/// `D ∈ {1, 2}`.
+///
+/// The paper sweeps `c, d ∈ [1, 5]` and `D ∈ [1, 2]`; its own Table 4 shows
+/// that `c ≤ 3`, `d ≤ 2`, `D ≤ 2` already reaches every benchmark that the
+/// full sweep reaches, so the reduced grid preserves the comparison while
+/// keeping the exact-arithmetic sweep affordable.
+pub fn default_sweep() -> Vec<ProverConfig> {
+    let mut configs = Vec::new();
+    for &check in &[CheckKind::Check1, CheckKind::Check2] {
+        for &strategy in &[Strategy::Houdini, Strategy::GuardPropagation] {
+            for &c in &[1usize, 2, 3] {
+                for &d in &[1usize, 2] {
+                    for &degree in &[1u32, 2] {
+                        configs.push(ProverConfig {
+                            check,
+                            strategy,
+                            params: TemplateParams::new(c, d, degree),
+                            ..ProverConfig::default()
+                        });
+                    }
+                }
+            }
+        }
+    }
+    configs
+}
+
+/// A small sweep used in tests and the quickstart example: Check 1 and
+/// Check 2 with the default strategy and a single template size.
+pub fn quick_sweep() -> Vec<ProverConfig> {
+    vec![
+        ProverConfig::default(),
+        ProverConfig {
+            check: CheckKind::Check2,
+            params: TemplateParams::new(3, 1, 1),
+            ..ProverConfig::default()
+        },
+    ]
+}
+
+/// Runs a configuration sweep on a transition system, stopping early once
+/// `stop_after_success` successful configurations have been observed (pass
+/// `usize::MAX` to run the full grid, as the paper's per-configuration tables
+/// require).
+pub fn sweep(
+    ts: &TransitionSystem,
+    configs: &[ProverConfig],
+    stop_after_success: usize,
+) -> SweepReport {
+    let mut report = SweepReport::default();
+    let mut successes = 0usize;
+    for config in configs {
+        let result = prove(ts, config);
+        let proved = result.is_non_terminating();
+        report.outcomes.push(ConfigOutcome {
+            label: config.label(),
+            check: config.check,
+            strategy: config.strategy,
+            params: config.params,
+            proved,
+            elapsed: result.elapsed,
+        });
+        if proved {
+            successes += 1;
+            if successes >= stop_after_success {
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_lang::parse_program;
+    use revterm_ts::lower;
+
+    #[test]
+    fn default_sweep_covers_both_checks_and_strategies() {
+        let configs = default_sweep();
+        assert_eq!(configs.len(), 2 * 2 * 3 * 2 * 2);
+        assert!(configs.iter().any(|c| c.check == CheckKind::Check1));
+        assert!(configs.iter().any(|c| c.check == CheckKind::Check2));
+        assert!(configs.iter().any(|c| c.strategy == Strategy::GuardPropagation));
+        // Labels are unique.
+        let mut labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), configs.len());
+    }
+
+    #[test]
+    fn sweep_reports_first_success_and_statistics() {
+        let ts = lower(&parse_program("while x >= 0 do x := x + 1; od").unwrap()).unwrap();
+        let report = sweep(&ts, &quick_sweep(), 1);
+        assert!(report.proved());
+        let fastest = report.fastest_success().unwrap();
+        assert!(fastest.proved);
+        assert!(report.proved_with(fastest.check, fastest.strategy));
+        assert!(report.proved_within(5, 5, 2));
+        assert!(!report.proved_within(0, 0, 0));
+        assert!(report.total_elapsed() >= fastest.elapsed);
+    }
+
+    #[test]
+    fn sweep_on_terminating_program_reports_nothing() {
+        let ts = lower(&parse_program("n := 0; while n <= 3 do n := n + 1; od").unwrap()).unwrap();
+        let report = sweep(&ts, &quick_sweep(), 1);
+        assert!(!report.proved());
+        assert!(report.fastest_success().is_none());
+        assert_eq!(report.outcomes.len(), quick_sweep().len());
+    }
+}

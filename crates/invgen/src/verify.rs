@@ -1,0 +1,233 @@
+//! Exact verification of invariance conditions.
+//!
+//! These checks are used both inside the synthesis loop and, independently,
+//! by the core crate to validate complete BI-certificates before a
+//! non-termination verdict is reported.
+
+use revterm_poly::Poly;
+use revterm_solver::{entails, implies_false, EntailmentOptions};
+use revterm_ts::{PredicateMap, PropPredicate, TransitionSystem};
+use std::fmt;
+
+/// A witness that a predicate map is not inductive: the transition and the
+/// source disjunct for which the consecution check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InductivenessViolation {
+    /// Id of the offending transition.
+    pub transition_id: usize,
+    /// Index of the source disjunct whose successors are not covered.
+    pub disjunct_index: usize,
+}
+
+impl fmt::Display for InductivenessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "consecution fails for transition t{} from disjunct {}",
+            self.transition_id, self.disjunct_index
+        )
+    }
+}
+
+/// Chooses entailment options adequate for the degrees involved: purely
+/// linear obligations use plain Farkas (fast), anything non-linear uses the
+/// configured Handelman budget.
+fn adaptive_opts(premises: &[Poly], conclusion_degree: u32, base: &EntailmentOptions) -> EntailmentOptions {
+    let max_premise_degree = premises.iter().map(|p| p.total_degree()).max().unwrap_or(0);
+    if max_premise_degree <= 1 && conclusion_degree <= 1 {
+        EntailmentOptions::linear()
+    } else {
+        base.clone()
+    }
+}
+
+/// Checks whether the premises entail a propositional predicate, i.e. entail
+/// *some* disjunct of it (or are unsatisfiable).
+pub fn predicate_entails(
+    premises: &[Poly],
+    predicate: &PropPredicate,
+    opts: &EntailmentOptions,
+) -> bool {
+    for disjunct in predicate.disjuncts() {
+        let all = disjunct.atoms().iter().all(|atom| {
+            // Syntactic short-circuit: the conclusion already appears verbatim.
+            premises.contains(atom)
+                || entails(premises, atom, &adaptive_opts(premises, atom.total_degree(), opts))
+        });
+        if all {
+            return true;
+        }
+    }
+    // Unsatisfiable premises entail anything (including the empty predicate).
+    implies_false(premises, &adaptive_opts(premises, 1, opts))
+}
+
+/// Checks that a predicate map is inductive for a transition system
+/// (Section 2): for every transition `(ℓ, ℓ', ρ)` and every disjunct `A` of
+/// `I(ℓ)`, the premises `A(x) ∧ ρ(x, x')` entail `I(ℓ')(x')`.
+///
+/// Returns the first violation found, or `Ok(())` if the map is inductive.
+/// Transitions whose id is in `skip_transitions` are not checked (used by
+/// Check 1, which handles transitions into `ℓ_out` separately).
+pub fn is_inductive(
+    ts: &TransitionSystem,
+    map: &PredicateMap,
+    opts: &EntailmentOptions,
+    skip_transitions: &[usize],
+) -> Result<(), InductivenessViolation> {
+    for t in ts.transitions() {
+        if skip_transitions.contains(&t.id) {
+            continue;
+        }
+        let target_pred_primed = map.at(t.target).rename(&|v| {
+            if ts.vars().is_unprimed(v) {
+                ts.vars().primed(v.index())
+            } else {
+                v
+            }
+        });
+        for (j, disjunct) in map.at(t.source).disjuncts().iter().enumerate() {
+            let mut premises: Vec<Poly> = disjunct.atoms().to_vec();
+            premises.extend(t.relation.atoms().iter().cloned());
+            if !predicate_entails(&premises, &target_pred_primed, opts) {
+                return Err(InductivenessViolation {
+                    transition_id: t.id,
+                    disjunct_index: j,
+                });
+            }
+        }
+        // A location whose predicate is `false` (no disjuncts) imposes no
+        // consecution obligations from itself, which the loop above already
+        // reflects (there are no disjuncts to iterate).
+    }
+    Ok(())
+}
+
+/// Checks the initiation condition: `Θ_init ⟹ I(ℓ_init)`.
+pub fn initiation_holds(ts: &TransitionSystem, map: &PredicateMap, opts: &EntailmentOptions) -> bool {
+    let premises: Vec<Poly> = ts.init_assertion().atoms().to_vec();
+    predicate_entails(&premises, map.at(ts.init_loc()), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_lang::parse_program;
+    use revterm_poly::Var;
+    use revterm_ts::{lower, Assertion, Loc, Resolution};
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    fn x() -> Poly {
+        Poly::var(Var(0))
+    }
+
+    #[test]
+    fn predicate_entailment_with_disjunctions() {
+        let opts = EntailmentOptions::default();
+        // x >= 5  entails  (x >= 0) \/ (x <= -10).
+        let pred = PropPredicate::from_disjuncts([
+            Assertion::ge_zero(x()),
+            Assertion::ge_zero(-x() - Poly::constant_i64(10)),
+        ]);
+        assert!(predicate_entails(&[x() - Poly::constant_i64(5)], &pred, &opts));
+        // x >= -3 entails neither disjunct.
+        assert!(!predicate_entails(&[x() + Poly::constant_i64(3)], &pred, &opts));
+        // Unsatisfiable premises entail even the empty predicate.
+        let unsat = vec![x(), -x() - Poly::constant_i64(1)];
+        assert!(predicate_entails(&unsat, &PropPredicate::unsatisfiable(), &opts));
+        // Satisfiable premises never entail the empty predicate.
+        assert!(!predicate_entails(&[x()], &PropPredicate::unsatisfiable(), &opts));
+    }
+
+    /// Builds the predicate map of Example 5.4: I(ℓ) = (x ≥ 9) everywhere
+    /// except I(ℓ_out) = ∅, for the running example restricted by x := 9.
+    fn example_54() -> (TransitionSystem, PredicateMap) {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let ndet_id = ts.ndet_transitions().next().unwrap().id;
+        let restricted = ts.restrict(&Resolution::from_pairs([(ndet_id, Poly::constant_i64(9))]));
+        let mut map = PredicateMap::tautology(restricted.num_locs());
+        for loc in restricted.locations() {
+            if loc == restricted.terminal_loc() {
+                map.set(loc, PropPredicate::unsatisfiable());
+            } else {
+                map.set(
+                    loc,
+                    PropPredicate::from_assertion(Assertion::ge_zero(x() - Poly::constant_i64(9))),
+                );
+            }
+        }
+        (restricted, map)
+    }
+
+    #[test]
+    fn example_54_invariant_is_inductive() {
+        let (restricted, map) = example_54();
+        let opts = EntailmentOptions::default();
+        // The map is inductive for the restricted system: x >= 9 is preserved
+        // by every transition (x := 9 keeps it, x := x + 1 keeps it, guards
+        // keep x unchanged), and the transition into ℓ_out has an
+        // unsatisfiable premise (x >= 9 together with the exit guard x < 9).
+        assert_eq!(is_inductive(&restricted, &map, &opts, &[]), Ok(()));
+    }
+
+    #[test]
+    fn wrong_invariant_is_rejected() {
+        let (restricted, _) = example_54();
+        let opts = EntailmentOptions::default();
+        // Claiming x >= 10 everywhere is NOT inductive: the resolved
+        // assignment x := 9 breaks it.
+        let mut bad = PredicateMap::tautology(restricted.num_locs());
+        for loc in restricted.locations() {
+            bad.set(
+                loc,
+                PropPredicate::from_assertion(Assertion::ge_zero(x() - Poly::constant_i64(10))),
+            );
+        }
+        let violation = is_inductive(&restricted, &bad, &opts, &[]).unwrap_err();
+        let t = restricted.transition(violation.transition_id);
+        assert!(matches!(
+            t.kind,
+            revterm_ts::TransitionKind::Assign { var: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn skipping_transitions_is_honoured() {
+        let (restricted, _) = example_54();
+        let opts = EntailmentOptions::default();
+        // The trivially-true map is NOT inductive towards ℓ_out if we demand
+        // I(ℓ_out) = false ... but skipping the offending transitions makes the
+        // check pass.
+        let mut map = PredicateMap::tautology(restricted.num_locs());
+        map.set(restricted.terminal_loc(), PropPredicate::unsatisfiable());
+        let violation = is_inductive(&restricted, &map, &opts, &[]).unwrap_err();
+        let into_terminal: Vec<usize> = restricted
+            .transitions_to(restricted.terminal_loc())
+            .map(|t| t.id)
+            .collect();
+        assert!(into_terminal.contains(&violation.transition_id));
+        assert_eq!(is_inductive(&restricted, &map, &opts, &into_terminal), Ok(()));
+    }
+
+    #[test]
+    fn initiation() {
+        let ts = lower(&parse_program("n := 0; while n <= 5 do n := n + 1; od").unwrap()).unwrap();
+        let opts = EntailmentOptions::default();
+        let n = Poly::var(ts.vars().lookup("n").unwrap());
+        // n >= 0 at every location: initiation holds (Θ_init is n = 0).
+        let mut map = PredicateMap::tautology(ts.num_locs());
+        for loc in ts.locations() {
+            map.set(loc, PropPredicate::from_assertion(Assertion::ge_zero(n.clone())));
+        }
+        assert!(initiation_holds(&ts, &map, &opts));
+        // n >= 1 at ℓ_init: initiation fails.
+        let mut bad = map.clone();
+        bad.set(
+            Loc(ts.init_loc().0),
+            PropPredicate::from_assertion(Assertion::ge_zero(n.clone() - Poly::one())),
+        );
+        assert!(!initiation_holds(&ts, &bad, &opts));
+    }
+}

@@ -1,0 +1,381 @@
+//! Abstract syntax trees for the input language.
+
+use revterm_num::Int;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinOp::Add => write!(f, "+"),
+            BinOp::Sub => write!(f, "-"),
+            BinOp::Mul => write!(f, "*"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The comparison with swapped truth value (`negate(a op b) == !(a op b)`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Le => write!(f, "<="),
+            CmpOp::Lt => write!(f, "<"),
+            CmpOp::Ge => write!(f, ">="),
+            CmpOp::Gt => write!(f, ">"),
+            CmpOp::Eq => write!(f, "=="),
+            CmpOp::Ne => write!(f, "!="),
+        }
+    }
+}
+
+/// Arithmetic expressions (polynomials over program variables).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A program variable.
+    Var(String),
+    /// An integer literal.
+    Const(Int),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Int::from(v))
+    }
+
+    /// All variables mentioned by the expression, in first-occurrence order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Neg(a) => a.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(name) => write!(f, "{}", name),
+            Expr::Const(v) => write!(f, "{}", v),
+            Expr::Bin(op, a, b) => write!(f, "({} {} {})", a, op, b),
+            Expr::Neg(a) => write!(f, "(-{})", a),
+        }
+    }
+}
+
+/// Boolean expressions used in guards.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// The non-deterministic condition `*` (used in `if * then`).
+    Nondet,
+    /// A comparison between two arithmetic expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Returns `true` iff the expression contains the non-deterministic `*`.
+    pub fn has_nondet(&self) -> bool {
+        match self {
+            BoolExpr::Nondet => true,
+            BoolExpr::True | BoolExpr::False | BoolExpr::Cmp(..) => false,
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => a.has_nondet() || b.has_nondet(),
+            BoolExpr::Not(a) => a.has_nondet(),
+        }
+    }
+
+    /// All variables mentioned by the expression, in first-occurrence order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Nondet => {}
+            BoolExpr::Cmp(_, a, b) => {
+                for v in a.variables().into_iter().chain(b.variables()) {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BoolExpr::Not(a) => a.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::True => write!(f, "true"),
+            BoolExpr::False => write!(f, "false"),
+            BoolExpr::Nondet => write!(f, "*"),
+            BoolExpr::Cmp(op, a, b) => write!(f, "{} {} {}", a, op, b),
+            BoolExpr::And(a, b) => write!(f, "({} and {})", a, b),
+            BoolExpr::Or(a, b) => write!(f, "({} or {})", a, b),
+            BoolExpr::Not(a) => write!(f, "not ({})", a),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// Deterministic assignment `x := e;`.
+    Assign(String, Expr),
+    /// Non-deterministic assignment `x := ndet();`.
+    NdetAssign(String),
+    /// Conditional. The guard may contain the non-deterministic `*`.
+    If(BoolExpr, Vec<Stmt>, Vec<Stmt>),
+    /// While loop.
+    While(BoolExpr, Vec<Stmt>),
+    /// No-op.
+    Skip,
+    /// Blocks executions that do not satisfy the condition.
+    Assume(BoolExpr),
+}
+
+impl Stmt {
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        let mut push = |name: &String| {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        };
+        match self {
+            Stmt::Assign(x, e) => {
+                push(x);
+                for v in e.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Stmt::NdetAssign(x) => push(x),
+            Stmt::If(c, t, e) => {
+                for v in c.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                for s in t.iter().chain(e.iter()) {
+                    s.collect_vars(out);
+                }
+            }
+            Stmt::While(c, body) => {
+                for v in c.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                for s in body {
+                    s.collect_vars(out);
+                }
+            }
+            Stmt::Skip => {}
+            Stmt::Assume(c) => {
+                for v in c.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A whole program.
+///
+/// A program is a (possibly empty) sequence of initial deterministic
+/// assignments (the paper's `Θ_init` preamble) followed by the body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Initial assignments executed before the first location (specify Θ_init).
+    pub preamble: Vec<(String, Expr)>,
+    /// The program body.
+    pub body: Vec<Stmt>,
+    /// Optional human-readable name (used by the benchmark suite).
+    pub name: Option<String>,
+}
+
+impl Program {
+    /// Creates a program from a body with no preamble.
+    pub fn new(body: Vec<Stmt>) -> Program {
+        Program {
+            preamble: Vec::new(),
+            body,
+            name: None,
+        }
+    }
+
+    /// All program variables in first-occurrence order (preamble first).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (x, e) in &self.preamble {
+            if !out.contains(x) {
+                out.push(x.clone());
+            }
+            for v in e.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        for s in &self.body {
+            s.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// Returns `true` iff the program contains any non-determinism
+    /// (non-deterministic assignments or branching).
+    pub fn has_nondeterminism(&self) -> bool {
+        fn stmt_has(s: &Stmt) -> bool {
+            match s {
+                Stmt::NdetAssign(_) => true,
+                Stmt::If(c, t, e) => {
+                    c.has_nondet() || t.iter().any(stmt_has) || e.iter().any(stmt_has)
+                }
+                Stmt::While(c, body) => c.has_nondet() || body.iter().any(stmt_has),
+                Stmt::Assign(..) | Stmt::Skip | Stmt::Assume(_) => false,
+            }
+        }
+        self.body.iter().any(stmt_has)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn expr_variables() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::var("x")),
+            Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::var("y")), Box::new(Expr::var("x")))),
+        );
+        assert_eq!(e.variables(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn program_variables_and_nondet() {
+        let prog = Program {
+            preamble: vec![("n".into(), Expr::int(0))],
+            body: vec![
+                Stmt::While(
+                    BoolExpr::cmp(CmpOp::Ge, Expr::var("x"), Expr::int(0)),
+                    vec![Stmt::NdetAssign("u".into()), Stmt::Assign("x".into(), Expr::var("u"))],
+                ),
+            ],
+            name: None,
+        };
+        assert_eq!(prog.variables(), vec!["n", "x", "u"]);
+        assert!(prog.has_nondeterminism());
+
+        let det = Program::new(vec![Stmt::Assign("x".into(), Expr::int(1))]);
+        assert!(!det.has_nondeterminism());
+    }
+
+    #[test]
+    fn display_roundtrips_are_readable() {
+        let e = Expr::Bin(BinOp::Sub, Box::new(Expr::var("x")), Box::new(Expr::int(3)));
+        assert_eq!(e.to_string(), "(x - 3)");
+        let b = BoolExpr::cmp(CmpOp::Lt, Expr::var("x"), Expr::int(9));
+        assert_eq!(b.to_string(), "x < 9");
+        let n = BoolExpr::Not(Box::new(BoolExpr::Nondet));
+        assert!(n.has_nondet());
+        assert_eq!(n.to_string(), "not (*)");
+    }
+}

@@ -1,0 +1,351 @@
+//! Lexer for the input language.
+
+use revterm_num::Int;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (variable name or keyword candidate).
+    Ident(String),
+    /// An integer literal.
+    Int(Int),
+    /// `:=`
+    Assign,
+    /// `;`
+    Semicolon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// Keyword `while`
+    While,
+    /// Keyword `do`
+    Do,
+    /// Keyword `od`
+    Od,
+    /// Keyword `if`
+    If,
+    /// Keyword `then`
+    Then,
+    /// Keyword `else`
+    Else,
+    /// Keyword `elseif`
+    ElseIf,
+    /// Keyword `fi`
+    Fi,
+    /// Keyword `skip`
+    Skip,
+    /// Keyword `assume`
+    Assume,
+    /// Keyword `ndet`
+    Ndet,
+    /// Keyword `and`
+    And,
+    /// Keyword `or`
+    Or,
+    /// Keyword `not`
+    Not,
+    /// Keyword `true`
+    True,
+    /// Keyword `false`
+    False,
+}
+
+/// A token together with its source line (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Error produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises a source string.
+///
+/// Comments start with `#` or `//` and extend to the end of the line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on the first unrecognised character.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Assign, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected ':='".into(), line });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Le, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Ge, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    i += 2;
+                } else {
+                    // Accept single '=' as equality for convenience.
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Ne, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '!='".into(), line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value: Int = text
+                    .parse()
+                    .map_err(|_| LexError { message: format!("bad integer '{}'", text), line })?;
+                tokens.push(Token { kind: TokenKind::Int(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = match word.as_str() {
+                    "while" => TokenKind::While,
+                    "do" => TokenKind::Do,
+                    "od" => TokenKind::Od,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    "elseif" => TokenKind::ElseIf,
+                    "fi" => TokenKind::Fi,
+                    "skip" => TokenKind::Skip,
+                    "assume" => TokenKind::Assume,
+                    "ndet" | "nondet" => TokenKind::Ndet,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    _ => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, line });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{}'", other),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_assignment() {
+        assert_eq!(
+            kinds("x := 10;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(Int::from(10_i64)),
+                TokenKind::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_keywords_and_operators() {
+        assert_eq!(
+            kinds("while x >= 9 do od"),
+            vec![
+                TokenKind::While,
+                TokenKind::Ident("x".into()),
+                TokenKind::Ge,
+                TokenKind::Int(Int::from(9_i64)),
+                TokenKind::Do,
+                TokenKind::Od
+            ]
+        );
+        assert_eq!(
+            kinds("if * then skip; else skip; fi"),
+            vec![
+                TokenKind::If,
+                TokenKind::Star,
+                TokenKind::Then,
+                TokenKind::Skip,
+                TokenKind::Semicolon,
+                TokenKind::Else,
+                TokenKind::Skip,
+                TokenKind::Semicolon,
+                TokenKind::Fi
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comparisons() {
+        assert_eq!(
+            kinds("x < y <= z > w >= u == v != t"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("y".into()),
+                TokenKind::Le,
+                TokenKind::Ident("z".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("w".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("u".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("v".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_lines() {
+        let toks = lex("x := 1; # a comment\ny := 2; // another\nz := 3;").unwrap();
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Assign).count(), 3);
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("x @ 3").is_err());
+        assert!(lex("x : 3").is_err());
+        assert!(lex("x ! 3").is_err());
+        let err = lex("x := 1;\ny @ 2;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn lex_ndet_aliases() {
+        assert_eq!(kinds("ndet"), vec![TokenKind::Ndet]);
+        assert_eq!(kinds("nondet"), vec![TokenKind::Ndet]);
+    }
+
+    #[test]
+    fn lex_big_literal() {
+        let toks = kinds("x := 123456789012345678901234567890;");
+        match &toks[2] {
+            TokenKind::Int(v) => assert_eq!(v.to_string(), "123456789012345678901234567890"),
+            other => panic!("unexpected token {:?}", other),
+        }
+    }
+}

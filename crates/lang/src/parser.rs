@@ -1,0 +1,446 @@
+//! Recursive-descent parser for the input language.
+
+use crate::ast::{BinOp, BoolExpr, CmpOp, Expr, Program, Stmt};
+use crate::lexer::{Token, TokenKind};
+use std::fmt;
+
+/// Error produced by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line (0 when at end of input).
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line() }
+    }
+
+    fn advance(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}, found {:?}", what, self.peek())))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    // statements -----------------------------------------------------------
+
+    fn parse_block(&mut self, terminators: &[TokenKind]) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.at_end() {
+                break;
+            }
+            if let Some(kind) = self.peek() {
+                if terminators.contains(kind) {
+                    break;
+                }
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Skip) => {
+                self.advance();
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Stmt::Skip)
+            }
+            Some(TokenKind::Assume) => {
+                self.advance();
+                let cond = self.parse_bool()?;
+                self.expect(&TokenKind::Semicolon, "';'")?;
+                Ok(Stmt::Assume(cond))
+            }
+            Some(TokenKind::While) => {
+                self.advance();
+                let cond = self.parse_bool()?;
+                self.expect(&TokenKind::Do, "'do'")?;
+                let body = self.parse_block(&[TokenKind::Od])?;
+                self.expect(&TokenKind::Od, "'od'")?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(TokenKind::If) => {
+                self.advance();
+                self.parse_if_tail()
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.advance();
+                self.expect(&TokenKind::Assign, "':='")?;
+                if self.peek() == Some(&TokenKind::Ndet) {
+                    self.advance();
+                    self.expect(&TokenKind::LParen, "'('")?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    self.expect(&TokenKind::Semicolon, "';'")?;
+                    Ok(Stmt::NdetAssign(name))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&TokenKind::Semicolon, "';'")?;
+                    Ok(Stmt::Assign(name, e))
+                }
+            }
+            other => Err(self.error(format!("expected a statement, found {:?}", other))),
+        }
+    }
+
+    /// Parses the part of an `if` after the `if` keyword, handling `elseif`
+    /// chains by desugaring them into nested conditionals.
+    fn parse_if_tail(&mut self) -> Result<Stmt, ParseError> {
+        let cond = self.parse_bool()?;
+        self.expect(&TokenKind::Then, "'then'")?;
+        let then_branch =
+            self.parse_block(&[TokenKind::Else, TokenKind::ElseIf, TokenKind::Fi])?;
+        match self.peek().cloned() {
+            Some(TokenKind::Fi) => {
+                self.advance();
+                Ok(Stmt::If(cond, then_branch, Vec::new()))
+            }
+            Some(TokenKind::Else) => {
+                self.advance();
+                let else_branch = self.parse_block(&[TokenKind::Fi])?;
+                self.expect(&TokenKind::Fi, "'fi'")?;
+                Ok(Stmt::If(cond, then_branch, else_branch))
+            }
+            Some(TokenKind::ElseIf) => {
+                self.advance();
+                // `elseif` shares the closing `fi` with the outer conditional.
+                let nested = self.parse_if_tail_noconsume()?;
+                Ok(Stmt::If(cond, then_branch, vec![nested]))
+            }
+            other => Err(self.error(format!("expected 'else', 'elseif' or 'fi', found {:?}", other))),
+        }
+    }
+
+    /// Like [`Parser::parse_if_tail`] but used for `elseif` chains: the final
+    /// `fi` is consumed exactly once by the innermost invocation.
+    fn parse_if_tail_noconsume(&mut self) -> Result<Stmt, ParseError> {
+        self.parse_if_tail()
+    }
+
+    // boolean expressions ----------------------------------------------------
+
+    fn parse_bool(&mut self) -> Result<BoolExpr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&TokenKind::Or) {
+            self.advance();
+            let rhs = self.parse_and()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.peek() == Some(&TokenKind::And) {
+            self.advance();
+            let rhs = self.parse_not()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.peek() == Some(&TokenKind::Not) {
+            self.advance();
+            let inner = self.parse_not()?;
+            Ok(BoolExpr::Not(Box::new(inner)))
+        } else {
+            self.parse_bool_atom()
+        }
+    }
+
+    fn parse_bool_atom(&mut self) -> Result<BoolExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(TokenKind::True) => {
+                self.advance();
+                Ok(BoolExpr::True)
+            }
+            Some(TokenKind::False) => {
+                self.advance();
+                Ok(BoolExpr::False)
+            }
+            Some(TokenKind::Star) => {
+                self.advance();
+                Ok(BoolExpr::Nondet)
+            }
+            _ => {
+                // Either `expr cmp expr` or `( bool )`.  Try the comparison
+                // first (expressions cannot contain boolean connectives), and
+                // fall back to a parenthesised boolean expression.
+                let snapshot = self.pos;
+                match self.try_parse_comparison() {
+                    Ok(cmp) => Ok(cmp),
+                    Err(first_err) => {
+                        self.pos = snapshot;
+                        if self.peek() == Some(&TokenKind::LParen) {
+                            self.advance();
+                            let inner = self.parse_bool()?;
+                            self.expect(&TokenKind::RParen, "')'")?;
+                            Ok(inner)
+                        } else {
+                            Err(first_err)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_parse_comparison(&mut self) -> Result<BoolExpr, ParseError> {
+        let lhs = self.parse_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::EqEq) => CmpOp::Eq,
+            Some(TokenKind::Ne) => CmpOp::Ne,
+            other => {
+                return Err(self.error(format!("expected a comparison operator, found {:?}", other)))
+            }
+        };
+        self.advance();
+        let rhs = self.parse_expr()?;
+        Ok(BoolExpr::cmp(op, lhs, rhs))
+    }
+
+    // arithmetic expressions -------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::Plus) => {
+                    self.advance();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+                }
+                Some(TokenKind::Minus) => {
+                    self.advance();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        while self.peek() == Some(&TokenKind::Star) {
+            self.advance();
+            let rhs = self.parse_factor()?;
+            lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.advance().cloned() {
+            Some(TokenKind::Ident(name)) => Ok(Expr::Var(name)),
+            Some(TokenKind::Int(v)) => Ok(Expr::Const(v)),
+            Some(TokenKind::Minus) => {
+                let inner = self.parse_factor()?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            Some(TokenKind::LParen) => {
+                let inner = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            other => Err(ParseError {
+                message: format!("expected an expression, found {:?}", other),
+                line: self.tokens.get(self.pos.saturating_sub(1)).map(|t| t.line).unwrap_or(0),
+            }),
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// Following Section 2 of the paper, a maximal prefix of deterministic
+/// assignments is split off into the program preamble (it specifies the
+/// initial variable valuations `Θ_init`); the remaining statements form the
+/// body whose first statement corresponds to `ℓ_init`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic problem.
+pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
+    let mut parser = Parser::new(tokens);
+    let stmts = parser.parse_block(&[])?;
+    if !parser.at_end() {
+        return Err(parser.error("trailing tokens after program"));
+    }
+    let mut preamble = Vec::new();
+    let mut body = Vec::new();
+    let mut in_preamble = true;
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(x, e) if in_preamble => preamble.push((x, e)),
+            other => {
+                in_preamble = false;
+                body.push(other);
+            }
+        }
+    }
+    Ok(Program { preamble, body, name: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_running_example() {
+        let prog = parse_src(
+            "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od",
+        );
+        assert!(prog.preamble.is_empty());
+        assert_eq!(prog.body.len(), 1);
+        match &prog.body[0] {
+            Stmt::While(cond, body) => {
+                assert_eq!(cond.to_string(), "x >= 9");
+                assert_eq!(body.len(), 3);
+                assert!(matches!(body[0], Stmt::NdetAssign(ref x) if x == "x"));
+            }
+            other => panic!("unexpected stmt {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_preamble_split() {
+        let prog = parse_src("n := 0; b := 0; while b == 0 do n := n + 1; od");
+        assert_eq!(prog.preamble.len(), 2);
+        assert_eq!(prog.body.len(), 1);
+    }
+
+    #[test]
+    fn parse_if_else_and_elseif() {
+        let prog = parse_src(
+            "while true do if u <= -1 then b := -1; elseif u == 0 then b := 0; else b := 1; fi od",
+        );
+        match &prog.body[0] {
+            Stmt::While(_, body) => match &body[0] {
+                Stmt::If(c, t, e) => {
+                    assert_eq!(c.to_string(), "u <= (-1)");
+                    assert_eq!(t.len(), 1);
+                    assert_eq!(e.len(), 1);
+                    assert!(matches!(e[0], Stmt::If(..)));
+                }
+                other => panic!("unexpected stmt {:?}", other),
+            },
+            other => panic!("unexpected stmt {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_nondet_branching() {
+        let prog = parse_src("while x >= 0 do if * then x := x + 1; else x := x - 1; fi od");
+        match &prog.body[0] {
+            Stmt::While(_, body) => match &body[0] {
+                Stmt::If(c, _, _) => assert_eq!(*c, BoolExpr::Nondet),
+                other => panic!("unexpected stmt {:?}", other),
+            },
+            other => panic!("unexpected stmt {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_boolean_structure() {
+        let prog = parse_src("while (b == 0 and n <= 99) or not (x < 0) do skip; od");
+        match &prog.body[0] {
+            Stmt::While(c, _) => {
+                assert_eq!(c.to_string(), "((b == 0 and n <= 99) or not (x < 0))");
+            }
+            other => panic!("unexpected stmt {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let prog = parse_src("x := 1 + 2 * y - (3 - z);");
+        // Whole program is a preamble assignment.
+        assert_eq!(prog.preamble.len(), 1);
+        let (_, e) = &prog.preamble[0];
+        assert_eq!(e.to_string(), "((1 + (2 * y)) - (3 - z))");
+    }
+
+    #[test]
+    fn parse_assume_and_skip() {
+        let prog = parse_src("assume x >= 0; while x >= 0 do skip; od");
+        assert!(matches!(prog.body[0], Stmt::Assume(_)));
+        assert!(prog.preamble.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse(&lex("while x do od").unwrap()).is_err()); // x is not a bool
+        assert!(parse(&lex("x := ;").unwrap()).is_err());
+        assert!(parse(&lex("if x > 0 then skip;").unwrap()).is_err()); // missing fi
+        assert!(parse(&lex("x := 1; od").unwrap()).is_err()); // trailing od
+        let err = parse(&lex("while x >= 0 do\n x := ;\nod").unwrap()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn parse_ndet_requires_parens() {
+        assert!(parse(&lex("x := ndet;").unwrap()).is_err());
+        assert!(parse(&lex("x := ndet();").unwrap()).is_ok());
+    }
+}

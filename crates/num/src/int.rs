@@ -1,0 +1,895 @@
+//! Sign-magnitude arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of an [`Int`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Internally represented as a sign plus a little-endian vector of base
+/// 2^64 limbs with no trailing zero limbs (canonical form). Zero is
+/// represented by an empty limb vector and [`Sign::Zero`].
+///
+/// Arithmetic is implemented for owned values and references; all operations
+/// allocate as needed and never overflow.
+///
+/// ```
+/// use revterm_num::Int;
+/// let a: Int = "123456789012345678901234567890".parse().unwrap();
+/// let b = &a * &a;
+/// assert_eq!(&b / &a, a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    /// Little-endian limbs; empty iff the value is zero; no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+/// Error returned when parsing an [`Int`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError {
+    msg: String,
+}
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseIntError {}
+
+// ---------------------------------------------------------------------------
+// Magnitude (unsigned limb-vector) helpers. All operate on canonical vectors.
+// ---------------------------------------------------------------------------
+
+fn mag_trim(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let x = long[i];
+        let y = if i < short.len() { short[i] } else { 0 };
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Computes `a - b` assuming `a >= b`.
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let x = a[i];
+        let y = if i < b.len() { b[i] } else { 0 };
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_bits(a: &[u64]) -> usize {
+    match a.last() {
+        None => 0,
+        Some(&top) => 64 * (a.len() - 1) + (64 - top.leading_zeros() as usize),
+    }
+}
+
+fn mag_shl(a: &[u64], bits: usize) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut out = vec![0u64; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry = 0u64;
+        for &x in a {
+            out.push((x << bit_shift) | carry);
+            carry = x >> (64 - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_shr(a: &[u64], bits: usize) -> Vec<u64> {
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(a.len() - limb_shift);
+    if bit_shift == 0 {
+        out.extend_from_slice(&a[limb_shift..]);
+    } else {
+        let src = &a[limb_shift..];
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+/// Schoolbook binary long division of magnitudes: returns `(quotient, remainder)`.
+///
+/// Correctness over speed: shift–subtract with per-limb batching is more than
+/// fast enough for the coefficient sizes produced by Farkas/Handelman
+/// encodings and Simplex pivoting in this project.
+fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!b.is_empty(), "division by zero");
+    if mag_cmp(a, b) == Ordering::Less {
+        return (Vec::new(), a.to_vec());
+    }
+    // Fast path: single-limb divisor.
+    if b.len() == 1 {
+        let d = b[0] as u128;
+        let mut q = vec![0u64; a.len()];
+        let mut rem: u128 = 0;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | a[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        mag_trim(&mut q);
+        let mut r = vec![rem as u64];
+        mag_trim(&mut r);
+        return (q, r);
+    }
+    let shift = mag_bits(a) - mag_bits(b);
+    let mut rem = a.to_vec();
+    let mut quot = vec![0u64; shift / 64 + 1];
+    let mut divisor = mag_shl(b, shift);
+    let mut k = shift as isize;
+    while k >= 0 {
+        if mag_cmp(&rem, &divisor) != Ordering::Less {
+            rem = mag_sub(&rem, &divisor);
+            quot[(k as usize) / 64] |= 1u64 << ((k as usize) % 64);
+        }
+        divisor = mag_shr(&divisor, 1);
+        k -= 1;
+    }
+    mag_trim(&mut quot);
+    mag_trim(&mut rem);
+    (quot, rem)
+}
+
+// ---------------------------------------------------------------------------
+// Int API
+// ---------------------------------------------------------------------------
+
+impl Int {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        Int {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        Int::from(1_i64)
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.limbs == [1]
+    }
+
+    /// Returns the sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        let mut out = self.clone();
+        if out.sign == Sign::Negative {
+            out.sign = Sign::Positive;
+        }
+        out
+    }
+
+    fn from_mag(sign: Sign, limbs: Vec<u64>) -> Int {
+        if limbs.is_empty() {
+            Int::zero()
+        } else {
+            Int { sign, limbs }
+        }
+    }
+
+    /// Euclidean-style division returning `(quotient, remainder)` with the
+    /// same convention as Rust's built-in integers (truncation toward zero;
+    /// the remainder has the sign of the dividend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &Int) -> (Int, Int) {
+        assert!(!other.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (Int::zero(), Int::zero());
+        }
+        let (q_mag, r_mag) = mag_divrem(&self.limbs, &other.limbs);
+        let q_sign = if q_mag.is_empty() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let r_sign = if r_mag.is_empty() { Sign::Zero } else { self.sign };
+        (Int::from_mag(q_sign, q_mag), Int::from_mag(r_sign, r_mag))
+    }
+
+    /// Greatest common divisor (always non-negative).
+    ///
+    /// `gcd(0, 0) == 0`.
+    pub fn gcd(&self, other: &Int) -> Int {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple (always non-negative). `lcm(0, x) == 0`.
+    pub fn lcm(&self, other: &Int) -> Int {
+        if self.is_zero() || other.is_zero() {
+            return Int::zero();
+        }
+        let g = self.gcd(other);
+        (&self.abs() / &g) * other.abs()
+    }
+
+    /// Raises the value to a non-negative integer power.
+    pub fn pow(&self, exp: u32) -> Int {
+        let mut result = Int::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Converts to an `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Converts to an `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let mag = self.limbs[0] as i128;
+                Some(if self.sign == Sign::Negative { -mag } else { mag })
+            }
+            2 => {
+                let mag = ((self.limbs[1] as u128) << 64) | self.limbs[0] as u128;
+                match self.sign {
+                    Sign::Negative => {
+                        if mag <= (1u128 << 127) {
+                            Some((mag as i128).wrapping_neg())
+                        } else {
+                            None
+                        }
+                    }
+                    _ => i128::try_from(mag).ok(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (used only for reporting, never for logic).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0_f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+        }
+        if self.sign == Sign::Negative {
+            -acc
+        } else {
+            acc
+        }
+    }
+
+    /// Number of significant bits of the absolute value (zero has 0 bits).
+    pub fn bits(&self) -> usize {
+        mag_bits(&self.limbs)
+    }
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::zero()
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        Int::from(v as i128)
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Int::zero()
+        } else {
+            Int {
+                sign: Sign::Positive,
+                limbs: vec![v],
+            }
+        }
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Self {
+        Int::from(v as i128)
+    }
+}
+
+impl From<usize> for Int {
+    fn from(v: usize) -> Self {
+        Int::from(v as u64)
+    }
+}
+
+impl From<i128> for Int {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return Int::zero();
+        }
+        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        let mag = v.unsigned_abs();
+        let lo = mag as u64;
+        let hi = (mag >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        mag_trim(&mut limbs);
+        Int { sign, limbs }
+    }
+}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseIntError { msg: s.to_string() });
+        }
+        let mut acc = Int::zero();
+        let ten = Int::from(10_i64);
+        for b in digits.bytes() {
+            acc = &acc * &ten + Int::from((b - b'0') as i64);
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        let billion = [1_000_000_000_u64];
+        // Extract 9 decimal digits at a time.
+        while !mag.is_empty() {
+            let (q, r) = mag_divrem(&mag, &billion);
+            let chunk = if r.is_empty() { 0 } else { r[0] };
+            digits.push(chunk);
+            mag = q;
+        }
+        let mut out = String::new();
+        if self.sign == Sign::Negative {
+            out.push('-');
+        }
+        out.push_str(&digits.last().unwrap().to_string());
+        for chunk in digits.iter().rev().skip(1) {
+            out.push_str(&format!("{:09}", chunk));
+        }
+        write!(f, "{}", out)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Int({})", self)
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Negative => 0,
+            Sign::Zero => 1,
+            Sign::Positive => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        match self.sign {
+            Sign::Zero => Ordering::Equal,
+            Sign::Positive => mag_cmp(&self.limbs, &other.limbs),
+            Sign::Negative => mag_cmp(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+// Arithmetic on references; owned forms forward to these.
+
+impl<'a, 'b> Add<&'b Int> for &'a Int {
+    type Output = Int;
+    fn add(self, rhs: &'b Int) -> Int {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => Int::from_mag(a, mag_add(&self.limbs, &rhs.limbs)),
+            _ => {
+                // Opposite signs: subtract smaller magnitude from larger.
+                match mag_cmp(&self.limbs, &rhs.limbs) {
+                    Ordering::Equal => Int::zero(),
+                    Ordering::Greater => {
+                        Int::from_mag(self.sign, mag_sub(&self.limbs, &rhs.limbs))
+                    }
+                    Ordering::Less => Int::from_mag(rhs.sign, mag_sub(&rhs.limbs, &self.limbs)),
+                }
+            }
+        }
+    }
+}
+
+impl<'a, 'b> Sub<&'b Int> for &'a Int {
+    type Output = Int;
+    fn sub(self, rhs: &'b Int) -> Int {
+        self + &(-rhs.clone())
+    }
+}
+
+impl<'a, 'b> Mul<&'b Int> for &'a Int {
+    type Output = Int;
+    fn mul(self, rhs: &'b Int) -> Int {
+        if self.is_zero() || rhs.is_zero() {
+            return Int::zero();
+        }
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        Int::from_mag(sign, mag_mul(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl<'a, 'b> Div<&'b Int> for &'a Int {
+    type Output = Int;
+    fn div(self, rhs: &'b Int) -> Int {
+        self.div_rem(rhs).0
+    }
+}
+
+impl<'a, 'b> Rem<&'b Int> for &'a Int {
+    type Output = Int;
+    fn rem(self, rhs: &'b Int) -> Int {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<'a> $trait<&'a Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &'a Int) -> Int {
+                (&self).$method(rhs)
+            }
+        }
+        impl<'a> $trait<Int> for &'a Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(mut self) -> Int {
+        self.sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        self
+    }
+}
+
+impl<'a> Neg for &'a Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::iter::Sum for Int {
+    fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(s: &str) -> Int {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Int::zero().is_zero());
+        assert!(Int::one().is_one());
+        assert_eq!(Int::zero().to_string(), "0");
+        assert_eq!(Int::default(), Int::zero());
+        assert_eq!(Int::zero().sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn from_and_display_roundtrip_small() {
+        for v in [-1000_i64, -37, -1, 0, 1, 5, 64, 1 << 40, i64::MAX, i64::MIN + 1] {
+            assert_eq!(Int::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip_large() {
+        let s = "123456789012345678901234567890123456789";
+        assert_eq!(big(s).to_string(), s);
+        let s = "-999999999999999999999999999999";
+        assert_eq!(big(s).to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!("--3".parse::<Int>().is_err());
+        assert!("1 2".parse::<Int>().is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_plus() {
+        assert_eq!(" 42 ".parse::<Int>().unwrap(), Int::from(42_i64));
+        assert_eq!("+42".parse::<Int>().unwrap(), Int::from(42_i64));
+    }
+
+    #[test]
+    fn addition_with_carries() {
+        let a = big("18446744073709551615"); // 2^64 - 1
+        let b = Int::one();
+        assert_eq!((&a + &b).to_string(), "18446744073709551616");
+        assert_eq!((&a + &a).to_string(), "36893488147419103230");
+    }
+
+    #[test]
+    fn subtraction_and_signs() {
+        let a = Int::from(5_i64);
+        let b = Int::from(12_i64);
+        assert_eq!((&a - &b).to_string(), "-7");
+        assert_eq!((&b - &a).to_string(), "7");
+        assert_eq!((&a - &a), Int::zero());
+        assert_eq!((-Int::from(5_i64)) - Int::from(3_i64), Int::from(-8_i64));
+    }
+
+    #[test]
+    fn multiplication_large() {
+        let a = big("123456789123456789");
+        let b = big("987654321987654321");
+        assert_eq!((&a * &b).to_string(), "121932631356500531347203169112635269");
+        assert_eq!(&a * Int::zero(), Int::zero());
+        assert_eq!((-a.clone()) * b.clone(), -big("121932631356500531347203169112635269"));
+    }
+
+    #[test]
+    fn division_matches_builtin_semantics() {
+        for a in [-100_i64, -37, -5, 0, 5, 37, 100] {
+            for b in [-7_i64, -3, -1, 1, 3, 7] {
+                let (q, r) = Int::from(a).div_rem(&Int::from(b));
+                assert_eq!(q, Int::from(a / b), "q for {a}/{b}");
+                assert_eq!(r, Int::from(a % b), "r for {a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_large() {
+        let a = big("121932631356500531347203169112635269");
+        let b = big("123456789123456789");
+        assert_eq!((&a / &b).to_string(), "987654321987654321");
+        assert_eq!(&a % &b, Int::zero());
+        let c = &a + Int::from(17_i64);
+        assert_eq!(&c % &b, Int::from(17_i64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Int::from(3_i64).div_rem(&Int::zero());
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(Int::from(12_i64).gcd(&Int::from(18_i64)), Int::from(6_i64));
+        assert_eq!(Int::from(-12_i64).gcd(&Int::from(18_i64)), Int::from(6_i64));
+        assert_eq!(Int::zero().gcd(&Int::zero()), Int::zero());
+        assert_eq!(Int::from(4_i64).lcm(&Int::from(6_i64)), Int::from(12_i64));
+        assert_eq!(Int::zero().lcm(&Int::from(6_i64)), Int::zero());
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(Int::from(2_i64).pow(10), Int::from(1024_i64));
+        assert_eq!(Int::from(10_i64).pow(0), Int::one());
+        assert_eq!(Int::from(-3_i64).pow(3), Int::from(-27_i64));
+        assert_eq!(Int::from(10_i64).pow(25).to_string(), format!("1{}", "0".repeat(25)));
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![
+            Int::from(3_i64),
+            Int::from(-10_i64),
+            Int::zero(),
+            big("99999999999999999999"),
+            Int::from(-2_i64),
+        ];
+        v.sort();
+        let shown: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert_eq!(shown, vec!["-10", "-2", "0", "3", "99999999999999999999"]);
+    }
+
+    #[test]
+    fn to_i128_boundaries() {
+        assert_eq!(Int::from(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(Int::from(i128::MIN + 1).to_i128(), Some(i128::MIN + 1));
+        let too_big = big("170141183460469231731687303715884105728"); // 2^127
+        assert_eq!(too_big.to_i128(), None);
+        assert_eq!((-too_big).to_i128(), Some(i128::MIN));
+    }
+
+    #[test]
+    fn to_f64_rough() {
+        assert_eq!(Int::from(5_i64).to_f64(), 5.0);
+        assert!((big("1000000000000000000000").to_f64() - 1e21).abs() < 1e7);
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(Int::zero().bits(), 0);
+        assert_eq!(Int::one().bits(), 1);
+        assert_eq!(Int::from(255_i64).bits(), 8);
+        assert_eq!(Int::from(256_i64).bits(), 9);
+        assert_eq!(Int::from(2_i64).pow(130).bits(), 131);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_i128(a in -1_000_000_000_000_i128..1_000_000_000_000, b in -1_000_000_000_000_i128..1_000_000_000_000) {
+            prop_assert_eq!(Int::from(a) + Int::from(b), Int::from(a + b));
+        }
+
+        #[test]
+        fn prop_mul_matches_i128(a in -1_000_000_000_i128..1_000_000_000, b in -1_000_000_000_i128..1_000_000_000) {
+            prop_assert_eq!(Int::from(a) * Int::from(b), Int::from(a * b));
+        }
+
+        #[test]
+        fn prop_divrem_matches_i128(a in -1_000_000_000_000_i128..1_000_000_000_000, b in -1_000_000_i128..1_000_000) {
+            prop_assume!(b != 0);
+            let (q, r) = Int::from(a).div_rem(&Int::from(b));
+            prop_assert_eq!(q, Int::from(a / b));
+            prop_assert_eq!(r, Int::from(a % b));
+        }
+
+        #[test]
+        fn prop_divrem_reconstructs(a in any::<i128>(), b in any::<i128>()) {
+            prop_assume!(b != 0);
+            // a = q*b + r, |r| < |b|
+            let ia = Int::from(a);
+            let ib = Int::from(b);
+            let (q, r) = ia.div_rem(&ib);
+            prop_assert_eq!(&q * &ib + &r, ia);
+            prop_assert!(r.abs() < ib.abs());
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(a in any::<i128>()) {
+            let i = Int::from(a);
+            let back: Int = i.to_string().parse().unwrap();
+            prop_assert_eq!(back, i);
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in any::<i64>(), b in any::<i64>()) {
+            let g = Int::from(a).gcd(&Int::from(b));
+            if !g.is_zero() {
+                prop_assert_eq!(Int::from(a) % &g, Int::zero());
+                prop_assert_eq!(Int::from(b) % &g, Int::zero());
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn prop_cmp_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_mul_big_then_div(a in 1_i128..1_000_000_000_000_000, b in 1_i128..1_000_000_000_000_000) {
+            let ia = Int::from(a);
+            let ib = Int::from(b);
+            let prod = &ia * &ib;
+            prop_assert_eq!(&prod / &ia, ib.clone());
+            prop_assert_eq!(&prod / &ib, ia);
+            prop_assert_eq!(&prod % &ib, Int::zero());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Exact arbitrary-precision arithmetic for the RevTerm reproduction.
+//!
+//! All reasoning in the rest of the workspace (polynomial arithmetic, Farkas
+//! multipliers, Simplex pivoting, certificate checking) is carried out over
+//! exact numbers so that a reported non-termination proof never depends on
+//! floating point rounding.
+//!
+//! The crate provides two types:
+//!
+//! * [`Int`] — a sign-magnitude arbitrary-precision integer backed by base
+//!   2^64 limbs.
+//! * [`Rat`] — an exact rational number (a reduced fraction of two [`Int`]s
+//!   with a strictly positive denominator).
+//!
+//! # Examples
+//!
+//! ```
+//! use revterm_num::{Int, Rat};
+//!
+//! let a = Int::from(10_i64).pow(30);
+//! let b = &a * &a;
+//! assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
+//!
+//! let half = Rat::new(Int::from(1), Int::from(2));
+//! let third = Rat::new(Int::from(1), Int::from(3));
+//! assert_eq!((&half + &third).to_string(), "5/6");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod rat;
+
+pub use int::{Int, ParseIntError, Sign};
+pub use rat::{ParseRatError, Rat};
+
+/// Convenience constructor for an [`Int`] from an `i64`.
+///
+/// ```
+/// use revterm_num::int;
+/// assert_eq!(int(-3).to_string(), "-3");
+/// ```
+pub fn int(v: i64) -> Int {
+    Int::from(v)
+}
+
+/// Convenience constructor for a [`Rat`] from an `i64`.
+///
+/// ```
+/// use revterm_num::rat;
+/// assert_eq!(rat(7), rat(14) / rat(2));
+/// ```
+pub fn rat(v: i64) -> Rat {
+    Rat::from(v)
+}
+
+/// Convenience constructor for a [`Rat`] from a numerator/denominator pair.
+///
+/// # Panics
+///
+/// Panics if `den == 0`.
+///
+/// ```
+/// use revterm_num::ratio;
+/// assert_eq!(ratio(2, 4).to_string(), "1/2");
+/// ```
+pub fn ratio(num: i64, den: i64) -> Rat {
+    Rat::new(Int::from(num), Int::from(den))
+}

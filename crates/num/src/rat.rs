@@ -1,0 +1,515 @@
+//! Exact rational numbers built on [`Int`].
+
+use crate::int::{Int, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is strictly positive and `gcd(num, den) == 1`
+/// (with `0` canonically represented as `0/1`).
+///
+/// ```
+/// use revterm_num::{Rat, Int};
+/// let r = Rat::new(Int::from(6), Int::from(-8));
+/// assert_eq!(r.to_string(), "-3/4");
+/// assert_eq!(r.numer(), &Int::from(-3));
+/// assert_eq!(r.denom(), &Int::from(4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Int,
+}
+
+/// Error returned when parsing a [`Rat`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError {
+    msg: String,
+}
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl Rat {
+    /// Creates a new rational from a numerator and denominator, reducing to
+    /// canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Rat {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return Rat {
+                num: Int::zero(),
+                den: Int::one(),
+            };
+        }
+        let g = num.gcd(&den);
+        Rat {
+            num: &num / &g,
+            den: &den / &g,
+        }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> Rat {
+        Rat {
+            num: Int::zero(),
+            den: Int::one(),
+        }
+    }
+
+    /// The rational one.
+    pub fn one() -> Rat {
+        Rat {
+            num: Int::one(),
+            den: Int::one(),
+        }
+    }
+
+    /// Numerator (sign-carrying part).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<=` the value.
+    pub fn floor(&self) -> Int {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>=` the value.
+    pub fn ceil(&self) -> Int {
+        -((-self.clone()).floor())
+    }
+
+    /// Rounds toward zero.
+    pub fn trunc(&self) -> Int {
+        self.num.div_rem(&self.den).0
+    }
+
+    /// Raises to a non-negative integer power.
+    pub fn pow(&self, exp: u32) -> Rat {
+        Rat {
+            num: self.num.pow(exp),
+            den: self.den.pow(exp),
+        }
+    }
+
+    /// Lossy conversion to `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Returns the rational as an [`Int`] if it is an integer.
+    pub fn to_int(&self) -> Option<Int> {
+        if self.is_integer() {
+            Some(self.num.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Minimum of two rationals (by value).
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals (by value).
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(v: Int) -> Self {
+        Rat { num: v, den: Int::one() }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from(Int::from(v))
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Self {
+        Rat::from(Int::from(v))
+    }
+}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let parse_int = |t: &str| -> Result<Int, ParseRatError> {
+            t.parse::<Int>().map_err(|_| ParseRatError { msg: s.to_string() })
+        };
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let num = parse_int(n)?;
+                let den = parse_int(d)?;
+                if den.is_zero() {
+                    return Err(ParseRatError { msg: s.to_string() });
+                }
+                Ok(Rat::new(num, den))
+            }
+            None => Ok(Rat::from(parse_int(s)?)),
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({})", self)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl<'a, 'b> Add<&'b Rat> for &'a Rat {
+    type Output = Rat;
+    fn add(self, rhs: &'b Rat) -> Rat {
+        Rat::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl<'a, 'b> Sub<&'b Rat> for &'a Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &'b Rat) -> Rat {
+        Rat::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl<'a, 'b> Mul<&'b Rat> for &'a Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &'b Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl<'a, 'b> Div<&'b Rat> for &'a Rat {
+    type Output = Rat;
+    fn div(self, rhs: &'b Rat) -> Rat {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<'a> $trait<&'a Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &'a Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl<'a> $trait<Rat> for &'a Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add);
+forward_rat_binop!(Sub, sub);
+forward_rat_binop!(Mul, mul);
+forward_rat_binop!(Div, div);
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl<'a> Neg for &'a Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        -self.clone()
+    }
+}
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl std::iter::Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(Int::from(n), Int::from(d))
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(6, -8).to_string(), "-3/4");
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(0, -5).to_string(), "0");
+        assert_eq!(r(-4, -2).to_string(), "2");
+        assert_eq!(r(7, 1).to_string(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(Int::one(), Int::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 9), r(3, 2));
+        assert_eq!(-r(2, 3), r(-2, 3));
+        assert_eq!(r(1, 3) + Rat::zero(), r(1, 3));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(5, 1) > r(9, 2));
+        assert_eq!(r(1, 2).max(r(2, 3)), r(2, 3));
+        assert_eq!(r(1, 2).min(r(2, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn floor_ceil_trunc() {
+        assert_eq!(r(7, 2).floor(), Int::from(3_i64));
+        assert_eq!(r(7, 2).ceil(), Int::from(4_i64));
+        assert_eq!(r(-7, 2).floor(), Int::from(-4_i64));
+        assert_eq!(r(-7, 2).ceil(), Int::from(-3_i64));
+        assert_eq!(r(-7, 2).trunc(), Int::from(-3_i64));
+        assert_eq!(r(6, 2).floor(), Int::from(3_i64));
+        assert_eq!(r(6, 2).ceil(), Int::from(3_i64));
+    }
+
+    #[test]
+    fn recip_pow() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+        assert_eq!(r(2, 3).pow(0), Rat::one());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("3/4".parse::<Rat>().unwrap(), r(3, 4));
+        assert_eq!("-6/8".parse::<Rat>().unwrap(), r(-3, 4));
+        assert_eq!("17".parse::<Rat>().unwrap(), r(17, 1));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("a/b".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(r(4, 2).to_int(), Some(Int::from(2_i64)));
+        assert_eq!(r(3, 2).to_int(), None);
+        assert!((r(1, 4).to_f64() - 0.25).abs() < 1e-12);
+        assert!(r(3, 1).is_integer());
+        assert!(!r(3, 2).is_integer());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
+            prop_assert_eq!(r(a, b) + r(c, d), r(c, d) + r(a, b));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in -100_i64..100, b in 1_i64..20, c in -100_i64..100, d in 1_i64..20, e in -100_i64..100, f in 1_i64..20) {
+            let x = r(a, b);
+            let y = r(c, d);
+            let z = r(e, f);
+            prop_assert_eq!(&x * (&y + &z), &x * &y + &x * &z);
+        }
+
+        #[test]
+        fn prop_sub_add_inverse(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
+            let x = r(a, b);
+            let y = r(c, d);
+            prop_assert_eq!(&(&x - &y) + &y, x);
+        }
+
+        #[test]
+        fn prop_div_mul_inverse(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
+            prop_assume!(c != 0);
+            let x = r(a, b);
+            let y = r(c, d);
+            prop_assert_eq!(&(&x / &y) * &y, x);
+        }
+
+        #[test]
+        fn prop_floor_le_value_lt_floor_plus_one(a in -10_000_i64..10_000, b in 1_i64..100) {
+            let x = r(a, b);
+            let fl = Rat::from(x.floor());
+            prop_assert!(fl <= x);
+            prop_assert!(x < &fl + &Rat::one());
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(a in -100_000_i64..100_000, b in 1_i64..1000) {
+            let x = r(a, b);
+            let back: Rat = x.to_string().parse().unwrap();
+            prop_assert_eq!(back, x);
+        }
+
+        #[test]
+        fn prop_cmp_antisymmetric(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
+            let x = r(a, b);
+            let y = r(c, d);
+            prop_assert_eq!(x.cmp(&y), y.cmp(&x).reverse());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Multivariate polynomial arithmetic over exact rationals.
+//!
+//! This crate is the symbolic backbone of the RevTerm reproduction: program
+//! guards and updates, invariant templates, Farkas/Handelman combinations and
+//! ranking functions are all represented as [`Poly`] values — multivariate
+//! polynomials with [`revterm_num::Rat`] coefficients over an abstract
+//! variable space ([`Var`]).
+//!
+//! The crate deliberately knows nothing about *what* the variables mean
+//! (program variables, primed variables, template coefficients, …); callers
+//! partition the variable space.  A lighter-weight linear view ([`LinExpr`])
+//! is provided for the LP layers.
+//!
+//! # Example
+//!
+//! ```
+//! use revterm_poly::{Poly, Var};
+//! use revterm_num::rat;
+//!
+//! let x = Var(0);
+//! let y = Var(1);
+//! // p = (x + y)^2
+//! let p = (Poly::var(x) + Poly::var(y)).pow(2);
+//! assert_eq!(p.total_degree(), 2);
+//! let val = p.eval(&|v| if v == x { rat(3) } else { rat(4) });
+//! assert_eq!(val, rat(49));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linexpr;
+mod monomial;
+#[allow(clippy::module_inception)]
+mod poly;
+
+pub use linexpr::LinExpr;
+pub use monomial::{monomials_up_to_degree, Monomial};
+pub use poly::Poly;
+
+/// An abstract variable identifier.
+///
+/// The polynomial layer treats variables as opaque indices; higher layers
+/// decide which indices denote program variables, primed copies, or template
+/// coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}

@@ -1,0 +1,234 @@
+//! Linear expressions — the degree-≤ 1 view used by the LP layers.
+
+use crate::Var;
+use revterm_num::Rat;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// An affine-linear expression `c0 + Σ ci * vi` with rational coefficients.
+///
+/// Linear expressions are the currency of the Farkas/Simplex layers: Farkas
+/// certificates, LP rows and objective functions are all [`LinExpr`] values.
+///
+/// ```
+/// use revterm_poly::{LinExpr, Var};
+/// use revterm_num::rat;
+/// let mut e = LinExpr::constant(rat(1));
+/// e.add_coeff(Var(0), rat(2));
+/// e.add_coeff(Var(1), rat(-1));
+/// assert_eq!(e.eval(&|v| if v == Var(0) { rat(3) } else { rat(4) }), rat(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    constant: Rat,
+    coeffs: BTreeMap<Var, Rat>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr {
+            constant: Rat::zero(),
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rat) -> Self {
+        LinExpr {
+            constant: c,
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// The expression consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_coeff(v, Rat::one());
+        e
+    }
+
+    /// Builds `c * v`.
+    pub fn term(v: Var, c: Rat) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_coeff(v, c);
+        e
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> &Rat {
+        &self.constant
+    }
+
+    /// Adds `c` to the coefficient of `v`.
+    pub fn add_coeff(&mut self, v: Var, c: Rat) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.coeffs.entry(v).or_insert_with(Rat::zero);
+        *entry = &*entry + &c;
+        if entry.is_zero() {
+            self.coeffs.remove(&v);
+        }
+    }
+
+    /// Adds `c` to the constant part.
+    pub fn add_constant(&mut self, c: Rat) {
+        self.constant = &self.constant + &c;
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: Var) -> Rat {
+        self.coeffs.get(&v).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with non-zero coefficients.
+    pub fn coeffs(&self) -> impl Iterator<Item = (&Var, &Rat)> + '_ {
+        self.coeffs.iter()
+    }
+
+    /// The variables with non-zero coefficients.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Returns `true` iff the expression is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant.is_zero() && self.coeffs.is_empty()
+    }
+
+    /// Returns `true` iff the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Scales the expression by a rational.
+    pub fn scale(&self, c: &Rat) -> LinExpr {
+        if c.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            constant: &self.constant * c,
+            coeffs: self.coeffs.iter().map(|(v, x)| (*v, x * c)).collect(),
+        }
+    }
+
+    /// Evaluates the expression under a total assignment.
+    pub fn eval(&self, assignment: &dyn Fn(Var) -> Rat) -> Rat {
+        let mut acc = self.constant.clone();
+        for (v, c) in &self.coeffs {
+            acc = &acc + &(c * &assignment(*v));
+        }
+        acc
+    }
+
+    /// Renders the expression using a variable name resolver.
+    pub fn display_with(&self, names: &dyn Fn(Var) -> String) -> String {
+        crate::Poly::from(self.clone()).display_with(names)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(&|v| v.to_string()))
+    }
+}
+
+impl<'a, 'b> Add<&'b LinExpr> for &'a LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: &'b LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_constant(rhs.constant.clone());
+        for (v, c) in &rhs.coeffs {
+            out.add_coeff(*v, c.clone());
+        }
+        out
+    }
+}
+
+impl<'a, 'b> Sub<&'b LinExpr> for &'a LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: &'b LinExpr) -> LinExpr {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Add<LinExpr> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        &self + &rhs
+    }
+}
+
+impl Sub<LinExpr> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        &self - &rhs
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(&-Rat::one())
+    }
+}
+
+impl<'a> Neg for &'a LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(&-Rat::one())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_num::rat;
+
+    #[test]
+    fn construction() {
+        let e = LinExpr::term(Var(0), rat(3));
+        assert_eq!(e.coeff(Var(0)), rat(3));
+        assert_eq!(e.coeff(Var(1)), rat(0));
+        assert!(LinExpr::zero().is_zero());
+        assert!(LinExpr::constant(rat(2)).is_constant());
+        assert!(!e.is_constant());
+    }
+
+    #[test]
+    fn coefficient_cancellation() {
+        let mut e = LinExpr::var(Var(0));
+        e.add_coeff(Var(0), rat(-1));
+        assert!(e.is_zero());
+        assert_eq!(e.vars().count(), 0);
+    }
+
+    #[test]
+    fn arithmetic_and_eval() {
+        let a = LinExpr::term(Var(0), rat(2)) + LinExpr::constant(rat(1));
+        let b = LinExpr::term(Var(1), rat(-1)) + LinExpr::constant(rat(4));
+        let sum = &a + &b;
+        assert_eq!(sum.constant_part().clone(), rat(5));
+        let v = sum.eval(&|v| if v == Var(0) { rat(10) } else { rat(3) });
+        assert_eq!(v, rat(22));
+        let diff = &a - &a;
+        assert!(diff.is_zero());
+    }
+
+    #[test]
+    fn scaling() {
+        let a = LinExpr::term(Var(0), rat(2)) + LinExpr::constant(rat(3));
+        let b = a.scale(&rat(-2));
+        assert_eq!(b.coeff(Var(0)), rat(-4));
+        assert_eq!(b.constant_part().clone(), rat(-6));
+        assert!(a.scale(&rat(0)).is_zero());
+    }
+
+    #[test]
+    fn display() {
+        let a = LinExpr::term(Var(0), rat(2)) + LinExpr::constant(rat(-3));
+        assert_eq!(a.to_string(), "2*v0 - 3");
+    }
+}

@@ -1,0 +1,223 @@
+//! Monomials: products of variable powers.
+
+use crate::Var;
+use std::fmt;
+
+/// A monomial, i.e. a product `v1^e1 * v2^e2 * ...` of variable powers.
+///
+/// Stored as a sorted list of `(variable, exponent)` pairs with strictly
+/// positive exponents; the empty list denotes the constant monomial `1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Monomial {
+    factors: Vec<(Var, u32)>,
+}
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Monomial { factors: Vec::new() }
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Monomial { factors: vec![(v, 1)] }
+    }
+
+    /// Builds a monomial from `(variable, exponent)` pairs.
+    ///
+    /// Pairs with zero exponents are dropped; repeated variables are merged.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, u32)>>(pairs: I) -> Self {
+        let mut factors: Vec<(Var, u32)> = Vec::new();
+        for (v, e) in pairs {
+            if e == 0 {
+                continue;
+            }
+            factors.push((v, e));
+        }
+        factors.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(Var, u32)> = Vec::with_capacity(factors.len());
+        for (v, e) in factors {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == v {
+                    last.1 += e;
+                    continue;
+                }
+            }
+            merged.push((v, e));
+        }
+        Monomial { factors: merged }
+    }
+
+    /// Returns `true` iff this is the constant monomial `1`.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Exponent of a variable (zero if absent).
+    pub fn exponent(&self, v: Var) -> u32 {
+        self.factors
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(variable, exponent)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, u32)> + '_ {
+        self.factors.iter().copied()
+    }
+
+    /// The variables occurring in the monomial.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.factors.iter().map(|&(v, _)| v)
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        Monomial::from_pairs(self.iter().chain(other.iter()))
+    }
+
+    /// Returns `true` iff the monomial mentions only variables in `allowed`.
+    pub fn uses_only(&self, allowed: &dyn Fn(Var) -> bool) -> bool {
+        self.factors.iter().all(|&(v, _)| allowed(v))
+    }
+
+    /// Renders the monomial using a variable name resolver.
+    pub fn display_with(&self, names: &dyn Fn(Var) -> String) -> String {
+        if self.is_one() {
+            return "1".to_string();
+        }
+        let mut parts = Vec::new();
+        for &(v, e) in &self.factors {
+            if e == 1 {
+                parts.push(names(v));
+            } else {
+                parts.push(format!("{}^{}", names(v), e));
+            }
+        }
+        parts.join("*")
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(&|v| v.to_string()))
+    }
+}
+
+/// Enumerates all monomials over `vars` of total degree at most `max_degree`,
+/// in a deterministic order starting with the constant monomial.
+///
+/// This is used both for invariant/ranking templates ("all monomials of
+/// degree ≤ D") and for Handelman-style products of constraint polynomials.
+///
+/// ```
+/// use revterm_poly::{monomials_up_to_degree, Var};
+/// let ms = monomials_up_to_degree(&[Var(0), Var(1)], 2);
+/// assert_eq!(ms.len(), 6); // 1, x, y, x^2, x*y, y^2
+/// ```
+pub fn monomials_up_to_degree(vars: &[Var], max_degree: u32) -> Vec<Monomial> {
+    let mut result = vec![Monomial::one()];
+    let mut frontier = vec![Monomial::one()];
+    for _ in 0..max_degree {
+        let mut next = Vec::new();
+        for m in &frontier {
+            // Only extend with variables >= the largest variable in `m` to
+            // avoid generating the same monomial twice.
+            let min_var = m.factors.last().map(|&(v, _)| v);
+            for &v in vars {
+                if let Some(mv) = min_var {
+                    if v < mv {
+                        continue;
+                    }
+                }
+                let ext = m.mul(&Monomial::var(v));
+                next.push(ext);
+            }
+        }
+        next.sort();
+        next.dedup();
+        result.extend(next.iter().cloned());
+        frontier = next;
+    }
+    result.sort();
+    result.dedup();
+    // Sort by (degree, lexicographic) for readability and determinism.
+    result.sort_by_key(|m| (m.degree(), m.clone()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_and_var() {
+        assert!(Monomial::one().is_one());
+        assert_eq!(Monomial::one().degree(), 0);
+        let m = Monomial::var(Var(3));
+        assert_eq!(m.degree(), 1);
+        assert_eq!(m.exponent(Var(3)), 1);
+        assert_eq!(m.exponent(Var(2)), 0);
+    }
+
+    #[test]
+    fn from_pairs_merges_and_drops_zero() {
+        let m = Monomial::from_pairs([(Var(1), 2), (Var(0), 1), (Var(1), 1), (Var(2), 0)]);
+        assert_eq!(m.exponent(Var(1)), 3);
+        assert_eq!(m.exponent(Var(0)), 1);
+        assert_eq!(m.exponent(Var(2)), 0);
+        assert_eq!(m.degree(), 4);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Monomial::from_pairs([(Var(0), 1), (Var(1), 2)]);
+        let b = Monomial::from_pairs([(Var(1), 1), (Var(2), 1)]);
+        let c = a.mul(&b);
+        assert_eq!(c.exponent(Var(0)), 1);
+        assert_eq!(c.exponent(Var(1)), 3);
+        assert_eq!(c.exponent(Var(2)), 1);
+    }
+
+    #[test]
+    fn display() {
+        let m = Monomial::from_pairs([(Var(0), 2), (Var(1), 1)]);
+        assert_eq!(m.to_string(), "v0^2*v1");
+        assert_eq!(Monomial::one().to_string(), "1");
+        let named = m.display_with(&|v| if v == Var(0) { "x".into() } else { "y".into() });
+        assert_eq!(named, "x^2*y");
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        // Over n vars, #monomials of degree <= d is C(n + d, d).
+        assert_eq!(monomials_up_to_degree(&[Var(0)], 3).len(), 4);
+        assert_eq!(monomials_up_to_degree(&[Var(0), Var(1)], 2).len(), 6);
+        assert_eq!(monomials_up_to_degree(&[Var(0), Var(1), Var(2)], 2).len(), 10);
+        assert_eq!(monomials_up_to_degree(&[Var(0), Var(1)], 0).len(), 1);
+        assert_eq!(monomials_up_to_degree(&[], 4).len(), 1);
+    }
+
+    #[test]
+    fn enumeration_contains_expected() {
+        let ms = monomials_up_to_degree(&[Var(0), Var(1)], 2);
+        assert!(ms.contains(&Monomial::one()));
+        assert!(ms.contains(&Monomial::var(Var(0))));
+        assert!(ms.contains(&Monomial::from_pairs([(Var(0), 1), (Var(1), 1)])));
+        assert!(ms.contains(&Monomial::from_pairs([(Var(1), 2)])));
+        assert!(!ms.contains(&Monomial::from_pairs([(Var(1), 3)])));
+    }
+
+    #[test]
+    fn uses_only() {
+        let m = Monomial::from_pairs([(Var(0), 1), (Var(5), 2)]);
+        assert!(m.uses_only(&|v| v.0 <= 5));
+        assert!(!m.uses_only(&|v| v.0 <= 4));
+    }
+}

@@ -1,0 +1,547 @@
+//! Multivariate polynomials with rational coefficients.
+
+use crate::{LinExpr, Monomial, Var};
+use revterm_num::{Int, Rat};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A multivariate polynomial with [`Rat`] coefficients.
+///
+/// Stored as a map from [`Monomial`] to non-zero coefficient (canonical:
+/// no zero coefficients are ever kept).
+///
+/// ```
+/// use revterm_poly::{Poly, Var};
+/// use revterm_num::rat;
+/// let x = Poly::var(Var(0));
+/// let p = &x * &x - Poly::constant(rat(4));
+/// assert_eq!(p.eval(&|_| rat(3)), rat(5));
+/// assert_eq!(p.total_degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly::constant(Rat::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rat) -> Self {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::one(), c);
+        }
+        Poly { terms }
+    }
+
+    /// A constant polynomial from an `i64`.
+    pub fn constant_i64(c: i64) -> Self {
+        Poly::constant(Rat::from(c))
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Poly::from_term(Monomial::var(v), Rat::one())
+    }
+
+    /// A single term `c * m`.
+    pub fn from_term(m: Monomial, c: Rat) -> Self {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(m, c);
+        }
+        Poly { terms }
+    }
+
+    /// Builds a polynomial from `(monomial, coefficient)` pairs, merging
+    /// duplicates and dropping zero coefficients.
+    pub fn from_terms<I: IntoIterator<Item = (Monomial, Rat)>>(iter: I) -> Self {
+        let mut p = Poly::zero();
+        for (m, c) in iter {
+            p.add_term(m, c);
+        }
+        p
+    }
+
+    /// Adds `c * m` in place.
+    pub fn add_term(&mut self, m: Monomial, c: Rat) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m.clone()).or_insert_with(Rat::zero);
+        *entry = &*entry + &c;
+        if entry.is_zero() {
+            self.terms.remove(&m);
+        }
+    }
+
+    /// Returns `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` iff the polynomial is a constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(|m| m.is_one())
+    }
+
+    /// Returns the constant value if the polynomial is constant.
+    pub fn as_constant(&self) -> Option<Rat> {
+        if self.is_constant() {
+            Some(self.constant_term())
+        } else {
+            None
+        }
+    }
+
+    /// The coefficient of the constant monomial.
+    pub fn constant_term(&self) -> Rat {
+        self.terms.get(&Monomial::one()).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// The coefficient of a monomial (zero if absent).
+    pub fn coefficient(&self, m: &Monomial) -> Rat {
+        self.terms.get(m).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rat)> + '_ {
+        self.terms.iter()
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (degree of the zero polynomial is 0 by convention).
+    pub fn total_degree(&self) -> u32 {
+        self.terms.keys().map(|m| m.degree()).max().unwrap_or(0)
+    }
+
+    /// The set of variables that occur in the polynomial.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.vars().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Multiplies the polynomial by a scalar.
+    pub fn scale(&self, c: &Rat) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, v)| (m.clone(), v * c)).collect(),
+        }
+    }
+
+    /// Raises the polynomial to a non-negative power.
+    pub fn pow(&self, exp: u32) -> Poly {
+        let mut result = Poly::one();
+        for _ in 0..exp {
+            result = &result * self;
+        }
+        result
+    }
+
+    /// Evaluates the polynomial under a total variable assignment.
+    pub fn eval(&self, assignment: &dyn Fn(Var) -> Rat) -> Rat {
+        let mut acc = Rat::zero();
+        for (m, c) in &self.terms {
+            let mut term = c.clone();
+            for (v, e) in m.iter() {
+                term = &term * &assignment(v).pow(e);
+            }
+            acc = &acc + &term;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial under an integer assignment, returning an
+    /// integer when all coefficients are integral, and `None` otherwise.
+    pub fn eval_int(&self, assignment: &dyn Fn(Var) -> Int) -> Option<Int> {
+        let r = self.eval(&|v| Rat::from(assignment(v)));
+        r.to_int()
+    }
+
+    /// Substitutes polynomials for variables: every occurrence of a variable
+    /// `v` is replaced by `subst(v)` (which may be the variable itself).
+    pub fn substitute(&self, subst: &dyn Fn(Var) -> Poly) -> Poly {
+        let mut acc = Poly::zero();
+        for (m, c) in &self.terms {
+            let mut term = Poly::constant(c.clone());
+            for (v, e) in m.iter() {
+                let repl = subst(v);
+                term = &term * &repl.pow(e);
+            }
+            acc = &acc + &term;
+        }
+        acc
+    }
+
+    /// Renames variables using the given map (a special case of
+    /// [`Poly::substitute`] that avoids re-expansion).
+    pub fn rename(&self, map: &dyn Fn(Var) -> Var) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            let renamed = Monomial::from_pairs(m.iter().map(|(v, e)| (map(v), e)));
+            out.add_term(renamed, c.clone());
+        }
+        out
+    }
+
+    /// Returns the linear view of the polynomial if its degree is at most 1.
+    pub fn as_linear(&self) -> Option<LinExpr> {
+        if self.total_degree() > 1 {
+            return None;
+        }
+        let mut lin = LinExpr::constant(self.constant_term());
+        for (m, c) in &self.terms {
+            if m.is_one() {
+                continue;
+            }
+            let mut vars = m.iter();
+            let (v, e) = vars.next().expect("non-constant monomial has a variable");
+            debug_assert_eq!(e, 1);
+            debug_assert!(vars.next().is_none());
+            lin.add_coeff(v, c.clone());
+        }
+        Some(lin)
+    }
+
+    /// Multiplies all coefficients by the least common multiple of their
+    /// denominators, producing an integer-coefficient polynomial that is a
+    /// positive multiple of `self`. Returns the scaled polynomial and the
+    /// multiplier used.
+    pub fn clear_denominators(&self) -> (Poly, Int) {
+        let mut lcm = Int::one();
+        for (_, c) in &self.terms {
+            lcm = lcm.lcm(c.denom());
+        }
+        let mult = Rat::from(lcm.clone());
+        (self.scale(&mult), lcm)
+    }
+
+    /// Renders the polynomial using a variable name resolver.
+    pub fn display_with(&self, names: &dyn Fn(Var) -> String) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Order terms by descending degree for readability.
+        let mut terms: Vec<(&Monomial, &Rat)> = self.terms.iter().collect();
+        terms.sort_by_key(|(m, _)| std::cmp::Reverse(m.degree()));
+        let mut out = String::new();
+        for (i, (m, c)) in terms.iter().enumerate() {
+            let neg = c.is_negative();
+            let abs = c.abs();
+            if i == 0 {
+                if neg {
+                    out.push('-');
+                }
+            } else if neg {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            if m.is_one() {
+                out.push_str(&abs.to_string());
+            } else if abs.is_one() {
+                out.push_str(&m.display_with(names));
+            } else {
+                out.push_str(&format!("{}*{}", abs, m.display_with(names)));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(&|v| v.to_string()))
+    }
+}
+
+impl From<LinExpr> for Poly {
+    fn from(lin: LinExpr) -> Self {
+        let mut p = Poly::constant(lin.constant_part().clone());
+        for (v, c) in lin.coeffs() {
+            p.add_term(Monomial::var(*v), c.clone());
+        }
+        p
+    }
+}
+
+impl From<Rat> for Poly {
+    fn from(c: Rat) -> Self {
+        Poly::constant(c)
+    }
+}
+
+impl<'a, 'b> Add<&'b Poly> for &'a Poly {
+    type Output = Poly;
+    fn add(self, rhs: &'b Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), c.clone());
+        }
+        out
+    }
+}
+
+impl<'a, 'b> Sub<&'b Poly> for &'a Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &'b Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), -c.clone());
+        }
+        out
+    }
+}
+
+impl<'a, 'b> Mul<&'b Poly> for &'a Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &'b Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &rhs.terms {
+                out.add_term(m1.mul(m2), c1 * c2);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! forward_poly_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Poly> for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<'a> $trait<&'a Poly> for Poly {
+            type Output = Poly;
+            fn $method(self, rhs: &'a Poly) -> Poly {
+                (&self).$method(rhs)
+            }
+        }
+        impl<'a> $trait<Poly> for &'a Poly {
+            type Output = Poly;
+            fn $method(self, rhs: Poly) -> Poly {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_poly_binop!(Add, add);
+forward_poly_binop!(Sub, sub);
+forward_poly_binop!(Mul, mul);
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(&-Rat::one())
+    }
+}
+
+impl<'a> Neg for &'a Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(&-Rat::one())
+    }
+}
+
+impl std::iter::Sum for Poly {
+    fn sum<I: Iterator<Item = Poly>>(iter: I) -> Poly {
+        iter.fold(Poly::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use revterm_num::rat;
+
+    fn x() -> Poly {
+        Poly::var(Var(0))
+    }
+    fn y() -> Poly {
+        Poly::var(Var(1))
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::constant(rat(0)), Poly::zero());
+        assert!(Poly::one().is_constant());
+        assert_eq!(Poly::constant_i64(5).as_constant(), Some(rat(5)));
+        assert_eq!(x().as_constant(), None);
+        assert_eq!(Poly::one().num_terms(), 1);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let p = &x() + &y();
+        let q = &x() - &y();
+        let prod = &p * &q; // x^2 - y^2
+        assert_eq!(prod.coefficient(&Monomial::from_pairs([(Var(0), 2)])), rat(1));
+        assert_eq!(prod.coefficient(&Monomial::from_pairs([(Var(1), 2)])), rat(-1));
+        assert_eq!(prod.coefficient(&Monomial::from_pairs([(Var(0), 1), (Var(1), 1)])), rat(0));
+        assert_eq!(prod.total_degree(), 2);
+    }
+
+    #[test]
+    fn cancellation_yields_zero() {
+        let p = &x() * &x() + x();
+        let q = -(&x() * &x() + x());
+        assert!((&p + &q).is_zero());
+        assert_eq!((&p - &p), Poly::zero());
+    }
+
+    #[test]
+    fn pow_and_eval() {
+        let p = (&x() + &y()).pow(3);
+        assert_eq!(p.total_degree(), 3);
+        // (2 + 3)^3 = 125
+        assert_eq!(p.eval(&|v| if v == Var(0) { rat(2) } else { rat(3) }), rat(125));
+        assert_eq!(p.pow(0), Poly::one());
+    }
+
+    #[test]
+    fn eval_int() {
+        let p = &x() * &x() - Poly::constant_i64(1);
+        let v = p.eval_int(&|_| revterm_num::int(5)).unwrap();
+        assert_eq!(v, revterm_num::int(24));
+        let half = Poly::constant(rat(1) / rat(2));
+        assert!(half.eval_int(&|_| revterm_num::int(0)).is_none());
+    }
+
+    #[test]
+    fn substitution() {
+        // p = x^2 + y, substitute x -> y + 1 gives y^2 + 3y + 1 at y (check at y=2: 4+6+1=11)
+        let p = &(&x() * &x()) + &y();
+        let q = p.substitute(&|v| {
+            if v == Var(0) {
+                &y() + &Poly::one()
+            } else {
+                Poly::var(v)
+            }
+        });
+        assert_eq!(q.eval(&|_| rat(2)), rat(11));
+    }
+
+    #[test]
+    fn rename() {
+        let p = &x() * &y();
+        let q = p.rename(&|v| Var(v.0 + 10));
+        assert_eq!(q.vars(), vec![Var(10), Var(11)]);
+        assert_eq!(q.total_degree(), 2);
+    }
+
+    #[test]
+    fn linear_view() {
+        let p = &x().scale(&rat(2)) + &Poly::constant_i64(3);
+        let lin = p.as_linear().unwrap();
+        assert_eq!(lin.coeff(Var(0)), rat(2));
+        assert_eq!(lin.constant_part().clone(), rat(3));
+        assert!((&x() * &x()).as_linear().is_none());
+        let back: Poly = lin.into();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn clear_denominators() {
+        let p = Poly::from_terms([
+            (Monomial::var(Var(0)), rat(1) / rat(2)),
+            (Monomial::one(), rat(2) / rat(3)),
+        ]);
+        let (q, mult) = p.clear_denominators();
+        assert_eq!(mult, revterm_num::int(6));
+        assert_eq!(q.coefficient(&Monomial::var(Var(0))), rat(3));
+        assert_eq!(q.constant_term(), rat(4));
+    }
+
+    #[test]
+    fn display() {
+        let p = &(&x() * &x()).scale(&rat(2)) - &y() + Poly::constant_i64(7);
+        let s = p.display_with(&|v| if v == Var(0) { "x".into() } else { "y".into() });
+        assert_eq!(s, "2*x^2 - y + 7");
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert_eq!((-x()).to_string(), "-v0");
+    }
+
+    #[test]
+    fn vars() {
+        let p = &x() * &Poly::var(Var(7)) + Poly::var(Var(3));
+        assert_eq!(p.vars(), vec![Var(0), Var(3), Var(7)]);
+        assert!(Poly::one().vars().is_empty());
+    }
+
+    fn small_poly() -> impl Strategy<Value = Poly> {
+        // Random polynomials over 3 variables with small integer coefficients.
+        proptest::collection::vec(
+            (0u32..3, 0u32..3, -5i64..6),
+            0..6,
+        )
+        .prop_map(|terms| {
+            Poly::from_terms(terms.into_iter().map(|(v, e, c)| {
+                (Monomial::from_pairs([(Var(v), e)]), rat(c))
+            }))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(p in small_poly(), q in small_poly()) {
+            prop_assert_eq!(&p + &q, &q + &p);
+        }
+
+        #[test]
+        fn prop_mul_commutative(p in small_poly(), q in small_poly()) {
+            prop_assert_eq!(&p * &q, &q * &p);
+        }
+
+        #[test]
+        fn prop_distributivity(p in small_poly(), q in small_poly(), r in small_poly()) {
+            prop_assert_eq!(&p * &(&q + &r), &p * &q + &p * &r);
+        }
+
+        #[test]
+        fn prop_eval_homomorphic(p in small_poly(), q in small_poly(), a in -4i64..5, b in -4i64..5, c in -4i64..5) {
+            let assign = move |v: Var| match v.0 { 0 => rat(a), 1 => rat(b), _ => rat(c) };
+            let sum_eval = (&p + &q).eval(&assign);
+            let prod_eval = (&p * &q).eval(&assign);
+            prop_assert_eq!(sum_eval, &p.eval(&assign) + &q.eval(&assign));
+            prop_assert_eq!(prod_eval, &p.eval(&assign) * &q.eval(&assign));
+        }
+
+        #[test]
+        fn prop_substitute_identity(p in small_poly()) {
+            prop_assert_eq!(p.substitute(&Poly::var), p);
+        }
+
+        #[test]
+        fn prop_neg_is_additive_inverse(p in small_poly()) {
+            prop_assert!((&p + &(-p.clone())).is_zero());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Bounded safety prover (reachability oracle).
+//!
+//! The paper uses CPAchecker to answer one kind of query in Check 2:
+//! *"is some configuration of `¬BI` reachable?"*.  Any sound "yes" answer
+//! (i.e. a concrete finite path) suffices for the soundness proof of the
+//! algorithm, so this reproduction uses explicit-state bounded search over
+//! the concrete semantics of the transition system:
+//!
+//! * initial valuations are enumerated from the program constants and a small
+//!   grid around them, filtered by `Θ_init` ([`find_initial_valuations`]);
+//! * non-deterministic assignments are resolved by a finite candidate set of
+//!   values, again derived from the program constants
+//!   ([`ndet_candidate_values`]);
+//! * breadth-first exploration up to configurable step/state bounds collects
+//!   reachable configurations ([`reachable_samples`]) and answers reachability
+//!   queries for predicate maps ([`find_reachable_in`]).
+//!
+//! A negative answer ("not found within bounds") is *not* a proof of
+//! unreachability; the core algorithm treats it as "unknown", exactly as the
+//! paper treats a safety-prover timeout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use revterm_num::Int;
+use revterm_ts::interp::{bounded_reach, is_initial_valuation, Config, Valuation};
+use revterm_ts::{PredicateMap, TransitionSystem};
+
+/// Bounds for the explicit-state search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchBounds {
+    /// Maximal number of BFS layers explored.
+    pub max_steps: usize,
+    /// Maximal number of distinct configurations kept.
+    pub max_configs: usize,
+    /// Maximal number of initial valuations enumerated.
+    pub max_initial: usize,
+    /// Half-width of the grid of small values tried for unconstrained
+    /// variables (the grid is `-grid..=grid` plus the program constants).
+    pub grid: i64,
+}
+
+impl Default for SearchBounds {
+    fn default() -> Self {
+        SearchBounds {
+            max_steps: 60,
+            max_configs: 4000,
+            max_initial: 64,
+            grid: 2,
+        }
+    }
+}
+
+/// Collects candidate integer values for non-deterministic assignments and
+/// for seeding initial valuations: the program constants (see
+/// [`revterm_invgen::collect_constants`]'s counterpart here) plus a small grid.
+pub fn ndet_candidate_values(ts: &TransitionSystem, grid: i64) -> Vec<Int> {
+    let mut values: Vec<Int> = (-grid..=grid).map(Int::from).collect();
+    for t in ts.transitions() {
+        for atom in t.relation.atoms() {
+            let c = atom.constant_term();
+            if let Some(i) = c.to_int() {
+                values.push(i.clone());
+                values.push(-i.clone());
+                values.push(&i + &Int::one());
+                values.push(&i - &Int::one());
+            }
+        }
+    }
+    for atom in ts.init_assertion().atoms() {
+        if let Some(i) = atom.constant_term().to_int() {
+            values.push(i.clone());
+            values.push(-i);
+        }
+    }
+    values.sort();
+    values.dedup();
+    values
+}
+
+/// Enumerates valuations satisfying `Θ_init`, trying the candidate values for
+/// every variable (cartesian product, truncated at `bounds.max_initial`).
+pub fn find_initial_valuations(ts: &TransitionSystem, bounds: &SearchBounds) -> Vec<Valuation> {
+    let candidates = ndet_candidate_values(ts, bounds.grid);
+    let n = ts.vars().len();
+    let mut result = Vec::new();
+    if n == 0 {
+        return vec![Valuation(Vec::new())];
+    }
+    // Iterative cartesian product with early truncation.
+    let mut indices = vec![0usize; n];
+    let total = candidates.len().pow(n as u32);
+    let cap = total.min(200_000);
+    for _ in 0..cap {
+        let vals = Valuation(indices.iter().map(|&i| candidates[i].clone()).collect());
+        if is_initial_valuation(ts, &vals) {
+            result.push(vals);
+            if result.len() >= bounds.max_initial {
+                break;
+            }
+        }
+        // Increment the odometer.
+        let mut k = 0;
+        loop {
+            indices[k] += 1;
+            if indices[k] < candidates.len() {
+                break;
+            }
+            indices[k] = 0;
+            k += 1;
+            if k == n {
+                return result;
+            }
+        }
+    }
+    result
+}
+
+/// Collects a set of configurations reachable from the initial configurations
+/// within the given bounds.  Every returned configuration is genuinely
+/// reachable (the search is an under-approximation of the reachable set).
+pub fn reachable_samples(ts: &TransitionSystem, bounds: &SearchBounds) -> Vec<Config> {
+    let seeds: Vec<Config> = find_initial_valuations(ts, bounds)
+        .into_iter()
+        .map(|v| Config::new(ts.init_loc(), v))
+        .collect();
+    let ndet = ndet_candidate_values(ts, bounds.grid);
+    bounded_reach(ts, &seeds, &ndet, bounds.max_steps, bounds.max_configs)
+}
+
+/// Searches for a reachable configuration contained in the given predicate
+/// map (typically `¬BI`).  Returns the witness configuration if one is found
+/// within the bounds.
+pub fn find_reachable_in(
+    ts: &TransitionSystem,
+    target: &PredicateMap,
+    bounds: &SearchBounds,
+) -> Option<Config> {
+    reachable_samples(ts, bounds)
+        .into_iter()
+        .find(|cfg| target.at(cfg.loc).holds_int(&cfg.vals.assignment()))
+}
+
+/// Searches for a reachable *terminal* configuration (used in tests and by the
+/// baseline provers to detect "the program can terminate from the explored
+/// region").
+pub fn find_reachable_terminal(ts: &TransitionSystem, bounds: &SearchBounds) -> Option<Config> {
+    reachable_samples(ts, bounds)
+        .into_iter()
+        .find(|cfg| cfg.loc == ts.terminal_loc())
+}
+
+/// Breadth-first search that returns a complete **path** (sequence of
+/// configurations, starting from an initial one) to the first configuration
+/// found that satisfies the target predicate map.
+///
+/// The returned path is replayable: consecutive configurations are related by
+/// a transition of the system, which is exactly what the certificate
+/// validator of the core crate re-checks.
+pub fn find_path_to(
+    ts: &TransitionSystem,
+    target: &PredicateMap,
+    bounds: &SearchBounds,
+) -> Option<Vec<Config>> {
+    use revterm_ts::interp::successors;
+    use std::collections::BTreeMap;
+    let seeds: Vec<Config> = find_initial_valuations(ts, bounds)
+        .into_iter()
+        .map(|v| Config::new(ts.init_loc(), v))
+        .collect();
+    let ndet = ndet_candidate_values(ts, bounds.grid);
+    let mut parents: BTreeMap<Config, Option<Config>> = BTreeMap::new();
+    let mut frontier: Vec<Config> = Vec::new();
+    let reconstruct = |cfg: &Config, parents: &BTreeMap<Config, Option<Config>>| {
+        let mut path = vec![cfg.clone()];
+        let mut cur = cfg.clone();
+        while let Some(Some(p)) = parents.get(&cur) {
+            path.push(p.clone());
+            cur = p.clone();
+        }
+        path.reverse();
+        path
+    };
+    for seed in seeds {
+        if target.at(seed.loc).holds_int(&seed.vals.assignment()) {
+            return Some(vec![seed]);
+        }
+        if !parents.contains_key(&seed) {
+            parents.insert(seed.clone(), None);
+            frontier.push(seed);
+        }
+    }
+    for _ in 0..bounds.max_steps {
+        if frontier.is_empty() || parents.len() >= bounds.max_configs {
+            break;
+        }
+        let mut next_frontier = Vec::new();
+        for cfg in &frontier {
+            for (_, succ) in successors(ts, cfg, &ndet) {
+                if parents.contains_key(&succ) || parents.len() >= bounds.max_configs {
+                    continue;
+                }
+                parents.insert(succ.clone(), Some(cfg.clone()));
+                if target.at(succ.loc).holds_int(&succ.vals.assignment()) {
+                    return Some(reconstruct(&succ, &parents));
+                }
+                next_frontier.push(succ);
+            }
+        }
+        frontier = next_frontier;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_lang::parse_program;
+    use revterm_num::int;
+    use revterm_ts::{lower, Assertion, PropPredicate};
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    #[test]
+    fn candidate_values_include_guard_constants() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let values = ndet_candidate_values(&ts, 2);
+        assert!(values.contains(&int(9)));
+        assert!(values.contains(&int(0)));
+        assert!(values.contains(&int(-9)));
+    }
+
+    #[test]
+    fn initial_valuations_respect_theta() {
+        let ts = lower(&parse_program("n := 0; b := 0; while b == 0 do n := n + 1; od").unwrap())
+            .unwrap();
+        let bounds = SearchBounds::default();
+        let inits = find_initial_valuations(&ts, &bounds);
+        assert!(!inits.is_empty());
+        for v in &inits {
+            assert!(is_initial_valuation(&ts, v));
+            assert_eq!(v.get(0), &int(0));
+            assert_eq!(v.get(1), &int(0));
+        }
+        // Unconstrained Θ_init: many valuations are produced.
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let inits = find_initial_valuations(&ts, &bounds);
+        assert!(inits.len() > 5);
+    }
+
+    #[test]
+    fn reachability_finds_terminal_of_terminating_program() {
+        let ts = lower(&parse_program("n := 0; while n <= 5 do n := n + 1; od").unwrap()).unwrap();
+        let cfg = find_reachable_terminal(&ts, &SearchBounds::default()).unwrap();
+        assert_eq!(cfg.loc, ts.terminal_loc());
+        assert_eq!(cfg.vals.get(0), &int(6));
+    }
+
+    #[test]
+    fn reachability_query_for_predicate_maps() {
+        // Fig. 2-style query: is a configuration with n >= 3 reachable at the
+        // loop head of a bounded counter? Yes (after three iterations).
+        let ts = lower(&parse_program("n := 0; while n <= 5 do n := n + 1; od").unwrap()).unwrap();
+        let n = revterm_poly::Poly::var(ts.vars().lookup("n").unwrap());
+        let mut target = PredicateMap::unsatisfiable(ts.num_locs());
+        target.set(
+            ts.init_loc(),
+            PropPredicate::from_assertion(Assertion::ge_zero(n.clone() - revterm_poly::Poly::constant_i64(3))),
+        );
+        let hit = find_reachable_in(&ts, &target, &SearchBounds::default()).unwrap();
+        assert_eq!(hit.loc, ts.init_loc());
+        assert!(hit.vals.get(0) >= &int(3));
+
+        // n >= 100 is not reachable (the loop stops at 6): bounded search
+        // correctly reports "not found".
+        let mut unreachable = PredicateMap::unsatisfiable(ts.num_locs());
+        unreachable.set(
+            ts.init_loc(),
+            PropPredicate::from_assertion(Assertion::ge_zero(n - revterm_poly::Poly::constant_i64(100))),
+        );
+        assert!(find_reachable_in(&ts, &unreachable, &SearchBounds::default()).is_none());
+    }
+
+    #[test]
+    fn non_deterministic_program_exploration() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let bounds = SearchBounds { max_steps: 15, max_configs: 1500, ..SearchBounds::default() };
+        let samples = reachable_samples(&ts, &bounds);
+        assert!(!samples.is_empty());
+        // The terminal location is reachable (choose a value < 9 for x).
+        assert!(samples.iter().any(|c| c.loc == ts.terminal_loc()));
+        // Some sample stays in the loop with x >= 9.
+        assert!(samples
+            .iter()
+            .any(|c| c.loc == ts.init_loc() && c.vals.get(0) >= &int(9)));
+    }
+}

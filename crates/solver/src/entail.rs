@@ -1,0 +1,303 @@
+//! The polynomial entailment oracle (Farkas / Handelman style).
+//!
+//! Given premise inequalities `g_1 ≥ 0, …, g_k ≥ 0` and a conclusion
+//! `p ≥ 0`, the oracle searches for non-negative rational multipliers
+//! `λ_0, λ_1, …` such that
+//!
+//! ```text
+//! p  =  λ_0 · 1  +  Σ_j λ_j · π_j
+//! ```
+//!
+//! where the `π_j` range over products of premises of bounded multiset size
+//! and bounded total degree.  Such a representation certifies the entailment
+//! over the reals and hence over the integers.  For linear premises and a
+//! linear conclusion with product size 1 this is exactly Farkas' lemma (and is
+//! complete whenever the premise polyhedron is non-empty); larger products
+//! give a Handelman-style relaxation for polynomial arithmetic.
+//!
+//! The search for multipliers is a pure rational LP feasibility problem and is
+//! discharged by [`crate::LpProblem`].
+
+use crate::lp::{LpProblem, Rel, VarKind};
+use revterm_num::Rat;
+use revterm_poly::{LinExpr, Monomial, Poly, Var};
+
+/// Options controlling the entailment search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntailmentOptions {
+    /// Maximal number of premises multiplied together in one product
+    /// (1 = plain Farkas; 2 is enough for the quadratic certificates that
+    /// appear in this project's benchmarks).
+    pub max_product_size: usize,
+    /// Maximal total degree of a product that is kept.
+    pub max_product_degree: u32,
+    /// Also attempt to show that the premises are unsatisfiable over the
+    /// reals (in which case any conclusion is entailed).
+    pub use_unsat_fallback: bool,
+}
+
+impl Default for EntailmentOptions {
+    fn default() -> Self {
+        EntailmentOptions {
+            max_product_size: 2,
+            max_product_degree: 4,
+            use_unsat_fallback: true,
+        }
+    }
+}
+
+impl EntailmentOptions {
+    /// Options for purely linear reasoning (plain Farkas lemma).
+    pub fn linear() -> Self {
+        EntailmentOptions {
+            max_product_size: 1,
+            max_product_degree: 1,
+            use_unsat_fallback: true,
+        }
+    }
+
+    /// Options with a given product size / degree budget.
+    pub fn with_budget(max_product_size: usize, max_product_degree: u32) -> Self {
+        EntailmentOptions {
+            max_product_size,
+            max_product_degree,
+            use_unsat_fallback: true,
+        }
+    }
+}
+
+/// Builds the list of candidate products of the premises.
+fn products(premises: &[Poly], opts: &EntailmentOptions) -> Vec<Poly> {
+    let mut out: Vec<Poly> = vec![Poly::one()];
+    let mut current: Vec<Poly> = vec![Poly::one()];
+    for _ in 0..opts.max_product_size {
+        let mut next = Vec::new();
+        for base in &current {
+            for g in premises {
+                let prod = base * g;
+                if prod.total_degree() <= opts.max_product_degree && !prod.is_zero() {
+                    next.push(prod);
+                }
+            }
+        }
+        out.extend(next.iter().cloned());
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// Searches for a non-negative combination of `products` equal to `target`.
+/// Returns the multipliers (aligned with `products`) if one exists.
+fn combination_witness(product_list: &[Poly], target: &Poly) -> Option<Vec<Rat>> {
+    // Multiplier variables λ_j are LP variables Var(j).
+    let mut lp = LpProblem::new();
+    for j in 0..product_list.len() {
+        lp.set_var_kind(Var(j as u32), VarKind::NonNegative);
+    }
+    // For every monomial occurring anywhere, the coefficients must match.
+    let mut monomials: Vec<Monomial> = target.terms().map(|(m, _)| m.clone()).collect();
+    for p in product_list {
+        monomials.extend(p.terms().map(|(m, _)| m.clone()));
+    }
+    monomials.sort();
+    monomials.dedup();
+    for m in &monomials {
+        let mut expr = LinExpr::constant(-target.coefficient(m));
+        for (j, p) in product_list.iter().enumerate() {
+            let c = p.coefficient(m);
+            if !c.is_zero() {
+                expr.add_coeff(Var(j as u32), c);
+            }
+        }
+        lp.add_constraint(expr, Rel::Eq);
+    }
+    let result = lp.solve();
+    result.solution().map(|sol| {
+        (0..product_list.len())
+            .map(|j| sol.value(Var(j as u32)))
+            .collect()
+    })
+}
+
+/// Checks whether the premises entail the conclusion (`∀x. ⋀ g_i ≥ 0 ⟹ p ≥ 0`)
+/// and returns the certifying multipliers if so.
+///
+/// The first element of the returned vector is the constant slack `λ_0`; the
+/// remaining entries are aligned with the internally generated product list,
+/// so the witness is mainly useful for debugging and for the certificate
+/// validation tests.
+pub fn entails_with_witness(
+    premises: &[Poly],
+    conclusion: &Poly,
+    opts: &EntailmentOptions,
+) -> Option<Vec<Rat>> {
+    // Trivial case: the conclusion is a non-negative constant.
+    if let Some(c) = conclusion.as_constant() {
+        if !c.is_negative() {
+            return Some(vec![c]);
+        }
+    }
+    let product_list = products(premises, opts);
+    if let Some(witness) = combination_witness(&product_list, conclusion) {
+        return Some(witness);
+    }
+    if opts.use_unsat_fallback && implies_false(premises, opts) {
+        return Some(Vec::new());
+    }
+    None
+}
+
+/// Checks whether the premises entail the conclusion.
+///
+/// Sound and incomplete: `true` is always trustworthy, `false` means "no
+/// certificate of the bounded shape was found".
+pub fn entails(premises: &[Poly], conclusion: &Poly, opts: &EntailmentOptions) -> bool {
+    entails_with_witness(premises, conclusion, opts).is_some()
+}
+
+/// Checks whether the premises are unsatisfiable over the reals, by deriving
+/// the contradiction `-1 ≥ 0` as a non-negative combination of premise
+/// products.
+pub fn implies_false(premises: &[Poly], opts: &EntailmentOptions) -> bool {
+    if premises.iter().any(|p| match p.as_constant() {
+        Some(c) => c.is_negative(),
+        None => false,
+    }) {
+        return true;
+    }
+    let product_list = products(premises, opts);
+    combination_witness(&product_list, &Poly::constant_i64(-1)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_num::rat;
+
+    fn x() -> Poly {
+        Poly::var(Var(100))
+    }
+    fn y() -> Poly {
+        Poly::var(Var(101))
+    }
+    fn c(v: i64) -> Poly {
+        Poly::constant_i64(v)
+    }
+
+    #[test]
+    fn trivial_conclusions() {
+        let opts = EntailmentOptions::default();
+        assert!(entails(&[], &c(0), &opts));
+        assert!(entails(&[], &c(5), &opts));
+        assert!(!entails(&[], &c(-1), &opts));
+        assert!(!entails(&[], &(x() - c(1)), &opts));
+    }
+
+    #[test]
+    fn linear_farkas_entailments() {
+        let opts = EntailmentOptions::linear();
+        // x >= 3 ⟹ x >= 1
+        assert!(entails(&[&x() - &c(3)], &(&x() - &c(1)), &opts));
+        // x >= 3 ⟹ 2x - 5 >= 0
+        assert!(entails(&[&x() - &c(3)], &(x().scale(&rat(2)) - c(5)), &opts));
+        // x >= 1 does NOT imply x >= 3
+        assert!(!entails(&[&x() - &c(1)], &(&x() - &c(3)), &opts));
+        // x >= 0 and y >= 0 ⟹ x + y >= 0
+        assert!(entails(&[x(), y()], &(&x() + &y()), &opts));
+        // x >= 0 and y >= 0 do NOT imply x - y >= 0
+        assert!(!entails(&[x(), y()], &(&x() - &y()), &opts));
+    }
+
+    #[test]
+    fn entailment_with_equalities() {
+        let opts = EntailmentOptions::linear();
+        // x = 7 (as two inequalities) ⟹ x >= 5 and 10 - x >= 0.
+        let premises = [&x() - &c(7), &c(7) - &x()];
+        assert!(entails(&premises, &(&x() - &c(5)), &opts));
+        assert!(entails(&premises, &(&c(10) - &x()), &opts));
+        assert!(!entails(&premises, &(&x() - &c(8)), &opts));
+    }
+
+    #[test]
+    fn unsat_premises_entail_everything() {
+        let opts = EntailmentOptions::default();
+        let premises = [&x() - &c(3), -x()]; // x >= 3 and x <= 0
+        assert!(implies_false(&premises, &opts));
+        assert!(entails(&premises, &(&x() - &c(1000)), &opts));
+        assert!(entails(&premises, &c(-5), &opts));
+        // Satisfiable premises are not reported unsat.
+        assert!(!implies_false(&[&x() - &c(3)], &opts));
+        assert!(!implies_false(&[], &opts));
+        // A syntactically false premise is detected immediately.
+        assert!(implies_false(&[c(-2)], &opts));
+    }
+
+    #[test]
+    fn quadratic_handelman_entailments() {
+        let opts = EntailmentOptions::default();
+        // x >= 3 ⟹ x^2 >= 9   (needs the product (x-3)^2).
+        assert!(entails(&[&x() - &c(3)], &(&x() * &x() - c(9)), &opts));
+        // x >= 0 ∧ y >= 2 ⟹ x*y + x >= 0.
+        assert!(entails(
+            &[x(), &y() - &c(2)],
+            &(&(&x() * &y()) + &x()),
+            &opts
+        ));
+        // x >= 0 does NOT imply x^2 >= 1.
+        assert!(!entails(&[x()], &(&x() * &x() - c(1)), &opts));
+    }
+
+    #[test]
+    fn witness_multipliers_reconstruct_conclusion() {
+        let opts = EntailmentOptions::linear();
+        let premises = vec![&x() - &c(3), y()];
+        let conclusion = &(&x() + &y()) - &c(1);
+        let witness = entails_with_witness(&premises, &conclusion, &opts).unwrap();
+        // Re-build the combination over the same product list and compare.
+        let product_list = super::products(&premises, &opts);
+        assert_eq!(witness.len(), product_list.len());
+        let mut sum = Poly::zero();
+        for (lambda, p) in witness.iter().zip(product_list.iter()) {
+            assert!(!lambda.is_negative(), "multipliers must be non-negative");
+            sum = &sum + &p.scale(lambda);
+        }
+        assert_eq!(sum, conclusion);
+    }
+
+    #[test]
+    fn running_example_invariant_step() {
+        // The inductiveness condition of Example 5.4 at the inner loop:
+        //   x >= 9  ∧  x <= y  ∧  x' = x + 1  ∧  y' = y   ⟹   x' >= 9.
+        let opts = EntailmentOptions::linear();
+        let xp = Poly::var(Var(102));
+        let yp = Poly::var(Var(103));
+        let premises = vec![
+            &x() - &c(9),
+            &y() - &x(),
+            &xp - &(&x() + &c(1)),
+            &(&x() + &c(1)) - &xp,
+            &yp - &y(),
+            &y() - &yp,
+        ];
+        assert!(entails(&premises, &(&xp - &c(9)), &opts));
+        // ... and it does not entail x' >= y' (which is false when x < y).
+        assert!(!entails(&premises, &(&xp - &yp), &opts));
+    }
+
+    #[test]
+    fn product_generation_respects_budgets() {
+        let premises = vec![x(), y()];
+        let small = products(&premises, &EntailmentOptions::with_budget(1, 1));
+        // 1, x, y.
+        assert_eq!(small.len(), 3);
+        let bigger = products(&premises, &EntailmentOptions::with_budget(2, 2));
+        // 1, x, y, x^2, xy, yx, y^2 (dedup keeps distinct polynomials).
+        assert!(bigger.len() >= 6);
+        assert!(bigger.iter().any(|p| p.total_degree() == 2));
+        assert!(bigger.iter().all(|p| p.total_degree() <= 2));
+    }
+}

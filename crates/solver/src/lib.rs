@@ -1,0 +1,44 @@
+//! Exact constraint solving: rational LP and polynomial entailment.
+//!
+//! The paper discharges its synthesis conditions with off-the-shelf SMT
+//! solvers (Z3, MathSAT5, Barcelogic).  This reproduction keeps the solver
+//! in-tree: the only oracles the rest of the workspace needs are
+//!
+//! * **LP feasibility / optimisation over the rationals** — [`LpProblem`],
+//!   a two-phase primal simplex with exact arithmetic, and
+//! * **polynomial entailment** — [`entails`] and [`implies_false`], a
+//!   Farkas/Handelman-style positive-combination oracle built on the LP
+//!   layer: `g_1 ≥ 0 ∧ … ∧ g_k ≥ 0 ⟹ p ≥ 0` is certified by exhibiting
+//!   non-negative multipliers `λ` with `p = λ_0 + Σ_j λ_j · π_j` where the
+//!   `π_j` range over products of the premises up to a degree bound.
+//!
+//! Both oracles are *sound*: a positive answer comes with an explicit
+//! certificate (a feasible point, a multiplier vector), and every
+//! non-termination verdict produced by the core crate is re-validated through
+//! these oracles.  They are incomplete in general (as is any decision
+//! procedure for non-linear integer arithmetic), which only ever costs
+//! coverage, never soundness.
+//!
+//! # Example
+//!
+//! ```
+//! use revterm_poly::{Poly, Var};
+//! use revterm_solver::{entails, EntailmentOptions};
+//!
+//! let x = Poly::var(Var(0));
+//! // x >= 3  implies  2x - 5 >= 0.
+//! let premise = vec![&x - &Poly::constant_i64(3)];
+//! let conclusion = &x.scale(&revterm_num::rat(2)) - &Poly::constant_i64(5);
+//! assert!(entails(&premise, &conclusion, &EntailmentOptions::default()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entail;
+mod lp;
+mod rng;
+
+pub use entail::{entails, entails_with_witness, implies_false, EntailmentOptions};
+pub use lp::{LpProblem, LpResult, LpSolution, Rel, VarKind};
+pub use rng::SplitMix64;

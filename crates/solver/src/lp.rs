@@ -1,0 +1,540 @@
+//! Exact linear programming over the rationals (two-phase primal simplex).
+
+use revterm_num::Rat;
+use revterm_poly::{LinExpr, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Relation of a linear constraint to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `expr = 0`
+    Eq,
+    /// `expr ≥ 0`
+    Ge,
+    /// `expr ≤ 0`
+    Le,
+}
+
+/// Sign restriction of an LP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarKind {
+    /// The variable ranges over all rationals.
+    #[default]
+    Free,
+    /// The variable is restricted to be `≥ 0`.
+    NonNegative,
+}
+
+/// A satisfying assignment returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LpSolution {
+    values: BTreeMap<Var, Rat>,
+    objective: Rat,
+}
+
+impl LpSolution {
+    /// The value assigned to a variable (zero if the variable did not occur).
+    pub fn value(&self, v: Var) -> Rat {
+        self.values.get(&v).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// The value of the minimised objective (zero for pure feasibility calls).
+    pub fn objective(&self) -> &Rat {
+        &self.objective
+    }
+
+    /// Iterates over `(variable, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Rat)> + '_ {
+        self.values.iter()
+    }
+}
+
+/// Result of solving an [`LpProblem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpResult {
+    /// The constraints are unsatisfiable.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// An optimal (or, without an objective, feasible) assignment.
+    Optimal(LpSolution),
+}
+
+impl LpResult {
+    /// Returns the solution if one was found.
+    pub fn solution(&self) -> Option<&LpSolution> {
+        match self {
+            LpResult::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` iff the problem was found feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, LpResult::Optimal(_))
+    }
+}
+
+/// A linear program: constraints `expr REL 0`, optional minimisation
+/// objective, per-variable sign restrictions.
+///
+/// ```
+/// use revterm_poly::{LinExpr, Var};
+/// use revterm_num::rat;
+/// use revterm_solver::{LpProblem, Rel, VarKind};
+///
+/// // minimise x subject to x >= 3, x free.
+/// let mut lp = LpProblem::new();
+/// lp.set_var_kind(Var(0), VarKind::Free);
+/// lp.add_constraint(LinExpr::var(Var(0)) - LinExpr::constant(rat(3)), Rel::Ge);
+/// lp.set_objective(LinExpr::var(Var(0)));
+/// let sol = lp.solve().solution().unwrap().clone();
+/// assert_eq!(sol.value(Var(0)), rat(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    var_kinds: BTreeMap<Var, VarKind>,
+    constraints: Vec<(LinExpr, Rel)>,
+    objective: Option<LinExpr>,
+}
+
+impl fmt::Display for LpProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lp with {} constraints", self.constraints.len())?;
+        for (e, r) in &self.constraints {
+            writeln!(f, "  {} {} 0", e, match r { Rel::Eq => "=", Rel::Ge => ">=", Rel::Le => "<=" })?;
+        }
+        Ok(())
+    }
+}
+
+impl LpProblem {
+    /// Creates an empty problem.
+    pub fn new() -> LpProblem {
+        LpProblem::default()
+    }
+
+    /// Declares the sign restriction of a variable (default: free).
+    pub fn set_var_kind(&mut self, v: Var, kind: VarKind) {
+        self.var_kinds.insert(v, kind);
+    }
+
+    /// Adds the constraint `expr REL 0`.
+    pub fn add_constraint(&mut self, expr: LinExpr, rel: Rel) {
+        self.constraints.push((expr, rel));
+    }
+
+    /// Sets the linear objective to minimise.
+    pub fn set_objective(&mut self, objective: LinExpr) {
+        self.objective = Some(objective);
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Solves the problem.
+    pub fn solve(&self) -> LpResult {
+        // Map every user variable to one or two simplex columns.
+        let mut vars: Vec<Var> = self
+            .constraints
+            .iter()
+            .flat_map(|(e, _)| e.vars().collect::<Vec<_>>())
+            .chain(self.objective.iter().flat_map(|e| e.vars().collect::<Vec<_>>()))
+            .collect();
+        vars.sort();
+        vars.dedup();
+
+        // column index -> (user var, sign) for reconstruction.
+        let mut col_of_pos: BTreeMap<Var, usize> = BTreeMap::new();
+        let mut col_of_neg: BTreeMap<Var, usize> = BTreeMap::new();
+        let mut num_cols = 0usize;
+        for &v in &vars {
+            let kind = self.var_kinds.get(&v).copied().unwrap_or_default();
+            col_of_pos.insert(v, num_cols);
+            num_cols += 1;
+            if kind == VarKind::Free {
+                col_of_neg.insert(v, num_cols);
+                num_cols += 1;
+            }
+        }
+        let structural_cols = num_cols;
+
+        // Build rows: a·x (cols) = b with b >= 0, adding slack/surplus columns.
+        let m = self.constraints.len();
+        let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
+        let mut rhs: Vec<Rat> = Vec::with_capacity(m);
+        let mut slack_specs: Vec<(usize, Rat)> = Vec::new(); // (row, coefficient)
+        for (i, (expr, rel)) in self.constraints.iter().enumerate() {
+            let mut row = vec![Rat::zero(); structural_cols];
+            for (v, c) in expr.coeffs() {
+                row[col_of_pos[v]] = &row[col_of_pos[v]] + c;
+                if let Some(&neg) = col_of_neg.get(v) {
+                    row[neg] = &row[neg] - c;
+                }
+            }
+            let b = -expr.constant_part().clone();
+            let slack = match rel {
+                Rel::Eq => None,
+                Rel::Ge => Some(-Rat::one()),
+                Rel::Le => Some(Rat::one()),
+            };
+            rows.push(row);
+            rhs.push(b);
+            if let Some(c) = slack {
+                slack_specs.push((i, c));
+            }
+        }
+        // Append slack columns.
+        let num_slack = slack_specs.len();
+        for row in rows.iter_mut() {
+            row.extend(std::iter::repeat(Rat::zero()).take(num_slack));
+        }
+        for (k, (row_idx, coeff)) in slack_specs.iter().enumerate() {
+            rows[*row_idx][structural_cols + k] = coeff.clone();
+        }
+        let total_decision_cols = structural_cols + num_slack;
+        // Normalise signs so that rhs >= 0.
+        for i in 0..m {
+            if rhs[i].is_negative() {
+                rhs[i] = -rhs[i].clone();
+                for c in rows[i].iter_mut() {
+                    *c = -c.clone();
+                }
+            }
+        }
+        // Append artificial columns (one per row) to get an initial basis.
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.extend(std::iter::repeat(Rat::zero()).take(m));
+            row[total_decision_cols + i] = Rat::one();
+        }
+        let total_cols = total_decision_cols + m;
+        let mut basis: Vec<usize> = (0..m).map(|i| total_decision_cols + i).collect();
+
+        // Phase 1: minimise the sum of artificial variables.
+        let phase1_cost: Vec<Rat> = (0..total_cols)
+            .map(|j| if j >= total_decision_cols { Rat::one() } else { Rat::zero() })
+            .collect();
+        let banned: Vec<bool> = vec![false; total_cols];
+        if !simplex(&mut rows, &mut rhs, &mut basis, &phase1_cost, &banned) {
+            // Phase 1 objective is bounded below by 0, so this cannot happen.
+            return LpResult::Infeasible;
+        }
+        let phase1_value: Rat = basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| &phase1_cost[b] * &rhs[i])
+            .sum();
+        if phase1_value.is_positive() {
+            return LpResult::Infeasible;
+        }
+        // Drive artificial variables out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= total_decision_cols {
+                if let Some(j) = (0..total_decision_cols).find(|&j| !rows[i][j].is_zero()) {
+                    pivot(&mut rows, &mut rhs, &mut basis, i, j);
+                }
+            }
+        }
+        // Ban artificial columns from ever entering again.
+        let mut banned = vec![false; total_cols];
+        for b in banned.iter_mut().take(total_cols).skip(total_decision_cols) {
+            *b = true;
+        }
+
+        // Phase 2 (only if an objective is present).
+        let objective_value;
+        if let Some(obj) = &self.objective {
+            let mut cost = vec![Rat::zero(); total_cols];
+            for (v, c) in obj.coeffs() {
+                cost[col_of_pos[v]] = &cost[col_of_pos[v]] + c;
+                if let Some(&neg) = col_of_neg.get(v) {
+                    cost[neg] = &cost[neg] - c;
+                }
+            }
+            if !simplex(&mut rows, &mut rhs, &mut basis, &cost, &banned) {
+                return LpResult::Unbounded;
+            }
+            let basis_value: Rat = basis
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| &cost[b] * &rhs[i])
+                .sum();
+            objective_value = &basis_value + obj.constant_part();
+        } else {
+            objective_value = Rat::zero();
+        }
+
+        // Extract the solution.
+        let mut col_values = vec![Rat::zero(); total_cols];
+        for (i, &b) in basis.iter().enumerate() {
+            col_values[b] = rhs[i].clone();
+        }
+        let mut values = BTreeMap::new();
+        for &v in &vars {
+            let pos = col_values[col_of_pos[&v]].clone();
+            let val = match col_of_neg.get(&v) {
+                Some(&neg) => &pos - &col_values[neg],
+                None => pos,
+            };
+            values.insert(v, val);
+        }
+        LpResult::Optimal(LpSolution { values, objective: objective_value })
+    }
+}
+
+/// Runs the simplex method on a tableau that already contains a feasible
+/// basis. Returns `false` if the objective is unbounded below.
+fn simplex(
+    rows: &mut [Vec<Rat>],
+    rhs: &mut [Rat],
+    basis: &mut [usize],
+    cost: &[Rat],
+    banned: &[bool],
+) -> bool {
+    let m = rows.len();
+    let n = cost.len();
+    loop {
+        // Reduced cost of column j: c_j - Σ_i c_{basis[i]} * rows[i][j].
+        let mut entering = None;
+        for j in 0..n {
+            if banned[j] || basis.contains(&j) {
+                continue;
+            }
+            let mut reduced = cost[j].clone();
+            for i in 0..m {
+                if !rows[i][j].is_zero() && !cost[basis[i]].is_zero() {
+                    reduced = &reduced - &(&cost[basis[i]] * &rows[i][j]);
+                }
+            }
+            if reduced.is_negative() {
+                entering = Some(j); // Bland's rule: first (lowest-index) improving column.
+                break;
+            }
+        }
+        let entering = match entering {
+            Some(j) => j,
+            None => return true, // optimal
+        };
+        // Ratio test.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio: Option<Rat> = None;
+        for i in 0..m {
+            if rows[i][entering].is_positive() {
+                let ratio = &rhs[i] / &rows[i][entering];
+                let better = match &best_ratio {
+                    None => true,
+                    Some(b) => {
+                        ratio < *b
+                            || (ratio == *b
+                                && basis[i] < basis[leaving.expect("leaving set with best_ratio")])
+                    }
+                };
+                if better {
+                    best_ratio = Some(ratio);
+                    leaving = Some(i);
+                }
+            }
+        }
+        let leaving = match leaving {
+            Some(i) => i,
+            None => return false, // unbounded
+        };
+        pivot(rows, rhs, basis, leaving, entering);
+    }
+}
+
+/// Pivots the tableau so that column `col` becomes basic in row `row`.
+fn pivot(rows: &mut [Vec<Rat>], rhs: &mut [Rat], basis: &mut [usize], row: usize, col: usize) {
+    let m = rows.len();
+    let pivot_val = rows[row][col].clone();
+    debug_assert!(!pivot_val.is_zero(), "pivot on zero element");
+    let inv = pivot_val.recip();
+    for c in rows[row].iter_mut() {
+        *c = &*c * &inv;
+    }
+    rhs[row] = &rhs[row] * &inv;
+    for i in 0..m {
+        if i == row || rows[i][col].is_zero() {
+            continue;
+        }
+        let factor = rows[i][col].clone();
+        for j in 0..rows[i].len() {
+            let delta = &factor * &rows[row][j];
+            rows[i][j] = &rows[i][j] - &delta;
+        }
+        let delta = &factor * &rhs[row];
+        rhs[i] = &rhs[i] - &delta;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_num::{rat, ratio};
+
+    fn e(c: i64) -> LinExpr {
+        LinExpr::constant(rat(c))
+    }
+    fn v(i: u32) -> LinExpr {
+        LinExpr::var(Var(i))
+    }
+
+    #[test]
+    fn trivial_feasible_and_infeasible() {
+        let mut lp = LpProblem::new();
+        lp.add_constraint(e(1), Rel::Ge); // 1 >= 0
+        assert!(lp.solve().is_feasible());
+
+        let mut lp = LpProblem::new();
+        lp.add_constraint(e(-1), Rel::Ge); // -1 >= 0
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn feasibility_with_free_variables() {
+        // x >= 3 and x <= -2 is infeasible; x >= 3 and x <= 10 is feasible.
+        let mut lp = LpProblem::new();
+        lp.add_constraint(v(0) - e(3), Rel::Ge);
+        lp.add_constraint(v(0) + e(2), Rel::Le);
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+
+        let mut lp = LpProblem::new();
+        lp.add_constraint(v(0) - e(3), Rel::Ge);
+        lp.add_constraint(v(0) - e(10), Rel::Le);
+        let sol = lp.solve().solution().unwrap().clone();
+        let x = sol.value(Var(0));
+        assert!(x >= rat(3) && x <= rat(10));
+    }
+
+    #[test]
+    fn negative_solutions_require_free_variables() {
+        // x <= -5 with x free is feasible, with x >= 0 it is not.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::Free);
+        lp.add_constraint(v(0) + e(5), Rel::Le);
+        let sol = lp.solve().solution().unwrap().clone();
+        assert!(sol.value(Var(0)) <= rat(-5));
+
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.add_constraint(v(0) + e(5), Rel::Le);
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn optimisation_simple() {
+        // minimise x + y subject to x >= 1, y >= 2.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(0) - e(1), Rel::Ge);
+        lp.add_constraint(v(1) - e(2), Rel::Ge);
+        lp.set_objective(v(0) + v(1));
+        let sol = lp.solve().solution().unwrap().clone();
+        assert_eq!(sol.objective().clone(), rat(3));
+        assert_eq!(sol.value(Var(0)), rat(1));
+        assert_eq!(sol.value(Var(1)), rat(2));
+    }
+
+    #[test]
+    fn optimisation_with_equalities_and_fractions() {
+        // minimise 2x + 3y subject to x + y = 10, x - y <= 2, x, y >= 0.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(0) + v(1) - e(10), Rel::Eq);
+        lp.add_constraint(v(0) - v(1) - e(2), Rel::Le);
+        lp.set_objective(v(0).scale(&rat(2)) + v(1).scale(&rat(3)));
+        let sol = lp.solve().solution().unwrap().clone();
+        // Optimal at x = 6, y = 4: objective 24.
+        assert_eq!(sol.objective().clone(), rat(24));
+        assert_eq!(sol.value(Var(0)), rat(6));
+        assert_eq!(sol.value(Var(1)), rat(4));
+        // Solution satisfies the constraints exactly.
+        assert_eq!(&sol.value(Var(0)) + &sol.value(Var(1)), rat(10));
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // minimise y subject to 2y >= 1  =>  y = 1/2.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(1).scale(&rat(2)) - e(1), Rel::Ge);
+        lp.set_objective(v(1));
+        let sol = lp.solve().solution().unwrap().clone();
+        assert_eq!(sol.value(Var(1)), ratio(1, 2));
+        assert_eq!(sol.objective().clone(), ratio(1, 2));
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        // minimise -x subject to x >= 0 (x can grow forever).
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.add_constraint(v(0), Rel::Ge);
+        lp.set_objective(-v(0));
+        assert_eq!(lp.solve(), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn equality_system_solved_exactly() {
+        // x + 2y = 7, 3x - y = 0  =>  x = 1, y = 3.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::Free);
+        lp.set_var_kind(Var(1), VarKind::Free);
+        lp.add_constraint(v(0) + v(1).scale(&rat(2)) - e(7), Rel::Eq);
+        lp.add_constraint(v(0).scale(&rat(3)) - v(1), Rel::Eq);
+        let sol = lp.solve().solution().unwrap().clone();
+        assert_eq!(sol.value(Var(0)), rat(1));
+        assert_eq!(sol.value(Var(1)), rat(3));
+    }
+
+    #[test]
+    fn degenerate_and_redundant_constraints() {
+        // Redundant copies of the same constraint must not confuse the solver.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        for _ in 0..4 {
+            lp.add_constraint(v(0) - e(2), Rel::Ge);
+        }
+        lp.add_constraint(v(0) - e(2), Rel::Eq);
+        lp.set_objective(v(0));
+        let sol = lp.solve().solution().unwrap().clone();
+        assert_eq!(sol.value(Var(0)), rat(2));
+    }
+
+    #[test]
+    fn farkas_style_feasibility() {
+        // Multipliers l1, l2 >= 0 with  l1 - l2 = 0  and  l1 + l2 = 2  =>  l1 = l2 = 1.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(0) - v(1), Rel::Eq);
+        lp.add_constraint(v(0) + v(1) - e(2), Rel::Eq);
+        let sol = lp.solve().solution().unwrap().clone();
+        assert_eq!(sol.value(Var(0)), rat(1));
+        assert_eq!(sol.value(Var(1)), rat(1));
+    }
+
+    #[test]
+    fn moderately_sized_random_like_system_is_handled() {
+        // A chain x1 <= x2 <= ... <= x8, x8 <= 5, minimise -x1 - note the
+        // optimum is x1 = ... = x8 = 5.
+        let mut lp = LpProblem::new();
+        for i in 0..8 {
+            lp.set_var_kind(Var(i), VarKind::Free);
+        }
+        for i in 0..7 {
+            lp.add_constraint(v(i + 1) - v(i), Rel::Ge);
+        }
+        lp.add_constraint(v(7) - e(5), Rel::Le);
+        lp.set_objective(-v(0));
+        let sol = lp.solve().solution().unwrap().clone();
+        assert_eq!(sol.value(Var(0)), rat(5));
+        assert_eq!(sol.objective().clone(), rat(-5));
+    }
+}

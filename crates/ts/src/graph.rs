@@ -1,0 +1,256 @@
+//! Graph algorithms on the location graph of a transition system.
+//!
+//! These are used by the invariant-generation layer (templates are placed at
+//! cutpoints), by the baseline provers (SCC enumeration, lasso search) and by
+//! the benchmark harness (structural statistics).
+
+use crate::system::{Loc, TransitionSystem};
+use std::collections::BTreeSet;
+
+/// Locations reachable from the initial location in the location graph
+/// (ignoring transition relations).
+pub fn reachable_locs(ts: &TransitionSystem) -> BTreeSet<Loc> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![ts.init_loc()];
+    while let Some(loc) = stack.pop() {
+        if !seen.insert(loc) {
+            continue;
+        }
+        for t in ts.transitions_from(loc) {
+            stack.push(t.target);
+        }
+    }
+    seen
+}
+
+/// Strongly connected components of the location graph, in reverse
+/// topological order (Tarjan's algorithm, iterative formulation).
+pub fn sccs(ts: &TransitionSystem) -> Vec<Vec<Loc>> {
+    let n = ts.num_locs();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan with an explicit call stack of (node, child iterator state).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs = |v: usize| -> Vec<usize> {
+            ts.transitions_from(Loc(v)).map(|t| t.target.0).collect()
+        };
+        call_stack.push((start, succs(start), 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some((v, children, mut ci)) = call_stack.pop() {
+            let mut descended = false;
+            while ci < children.len() {
+                let w = children[ci];
+                ci += 1;
+                if index[w] == usize::MAX {
+                    // Descend into w.
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((v, children, ci));
+                    call_stack.push((w, succs(w), 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // All children processed: maybe emit a component.
+            if low[v] == index[v] {
+                let mut component = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w] = false;
+                    component.push(Loc(w));
+                    if w == v {
+                        break;
+                    }
+                }
+                component.sort();
+                components.push(component);
+            }
+            // Propagate lowlink to the parent.
+            if let Some(&mut (p, _, _)) = call_stack.last_mut() {
+                low[p] = low[p].min(low[v]);
+            }
+        }
+    }
+    components
+}
+
+/// The non-trivial SCCs (containing a cycle): either more than one location,
+/// or a single location with a self-loop.
+pub fn cyclic_sccs(ts: &TransitionSystem) -> Vec<Vec<Loc>> {
+    sccs(ts)
+        .into_iter()
+        .filter(|c| {
+            c.len() > 1
+                || ts
+                    .transitions_from(c[0])
+                    .any(|t| t.target == c[0])
+        })
+        .collect()
+}
+
+/// Cutpoints: a set of locations that intersects every cycle of the location
+/// graph (computed as the targets of DFS back edges from the initial
+/// location, plus self-loop locations).  These are the locations at which the
+/// invariant-generation layer places predicate templates, following the
+/// standard practice referenced by the paper (Section 6).
+pub fn cutpoints(ts: &TransitionSystem) -> BTreeSet<Loc> {
+    let n = ts.num_locs();
+    let mut color = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+    let mut cut = BTreeSet::new();
+    // Explicit DFS.
+    let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+    let succs = |v: usize| -> Vec<usize> {
+        ts.transitions_from(Loc(v)).map(|t| t.target.0).collect()
+    };
+    for start in (0..n).map(|i| (ts.init_loc().0 + i) % n) {
+        if color[start] != 0 {
+            continue;
+        }
+        color[start] = 1;
+        stack.push((start, succs(start), 0));
+        while let Some((v, children, mut ci)) = stack.pop() {
+            let mut descended = false;
+            while ci < children.len() {
+                let w = children[ci];
+                ci += 1;
+                if color[w] == 0 {
+                    color[w] = 1;
+                    stack.push((v, children, ci));
+                    stack.push((w, succs(w), 0));
+                    descended = true;
+                    break;
+                } else if color[w] == 1 {
+                    // Back edge: w is on the current DFS path.
+                    cut.insert(Loc(w));
+                }
+            }
+            if !descended {
+                color[v] = 2;
+            }
+        }
+    }
+    cut
+}
+
+/// Simple structural statistics of a transition system, used by the
+/// benchmark harness tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Number of locations.
+    pub locations: usize,
+    /// Number of transitions.
+    pub transitions: usize,
+    /// Number of non-deterministic assignment transitions.
+    pub ndet_transitions: usize,
+    /// Number of non-trivial (cyclic) SCCs.
+    pub cyclic_sccs: usize,
+    /// Number of cutpoints.
+    pub cutpoints: usize,
+}
+
+/// Computes [`GraphStats`] for a system.
+pub fn stats(ts: &TransitionSystem) -> GraphStats {
+    GraphStats {
+        locations: ts.num_locs(),
+        transitions: ts.transitions().len(),
+        ndet_transitions: ts.ndet_transitions().count(),
+        cyclic_sccs: cyclic_sccs(ts).len(),
+        cutpoints: cutpoints(ts).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use revterm_lang::parse_program;
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    #[test]
+    fn reachability_covers_all_lowered_locations() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let reach = reachable_locs(&ts);
+        assert_eq!(reach.len(), ts.num_locs());
+    }
+
+    #[test]
+    fn sccs_partition_locations() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let comps = sccs(&ts);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, ts.num_locs());
+        // Each location appears exactly once.
+        let mut all: Vec<Loc> = comps.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), ts.num_locs());
+    }
+
+    #[test]
+    fn nested_loops_give_one_cyclic_scc_plus_terminal() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let cyc = cyclic_sccs(&ts);
+        // The two nested loops form one cyclic SCC; the terminal self-loop is another.
+        assert_eq!(cyc.len(), 2);
+        assert!(cyc.iter().any(|c| c.contains(&ts.terminal_loc())));
+        assert!(cyc.iter().any(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn straightline_program_has_only_terminal_cycle() {
+        let ts = lower(&parse_program("skip; skip;").unwrap()).unwrap();
+        let cyc = cyclic_sccs(&ts);
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(cyc[0], vec![ts.terminal_loc()]);
+    }
+
+    #[test]
+    fn cutpoints_cover_loop_heads() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let cps = cutpoints(&ts);
+        // Both loop heads plus the terminal self-loop location are cutpoints.
+        assert!(cps.contains(&ts.init_loc()));
+        assert!(cps.contains(&ts.terminal_loc()));
+        assert!(cps.len() >= 3);
+        // Removing the cutpoints breaks every cycle: check that every cyclic
+        // SCC intersects the cutpoint set.
+        for c in cyclic_sccs(&ts) {
+            assert!(c.iter().any(|l| cps.contains(l)), "scc {c:?} not covered");
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let s = stats(&ts);
+        assert_eq!(s.locations, ts.num_locs());
+        assert_eq!(s.transitions, ts.transitions().len());
+        assert_eq!(s.ndet_transitions, 1);
+        assert!(s.cutpoints >= 2);
+        assert!(s.cyclic_sccs >= 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! Lowering of programs to transition systems.
+//!
+//! This is the construction the paper describes as "standard and we omit it":
+//! each statement receives a location, guards are translated to transitions
+//! whose relations are assertions over unprimed/primed variables (one
+//! transition per disjunct of the guard's disjunctive normal form), the
+//! terminal location `ℓ_out` receives an identity self-loop, and a maximal
+//! prefix of deterministic assignments specifies `Θ_init`.
+
+use crate::assertion::{Assertion, PropPredicate};
+use crate::system::{Loc, Transition, TransitionKind, TransitionSystem};
+use crate::vars::VarTable;
+use revterm_lang::{remove_nondet_branching, BinOp, BoolExpr, CmpOp, Expr, Program, Stmt};
+use revterm_num::Rat;
+use revterm_poly::Poly;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error produced while lowering a program to a transition system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A non-deterministic `*` guard survived desugaring (e.g. it was nested
+    /// inside a boolean formula).
+    NondetGuard,
+    /// A preamble assignment references a variable that is itself reassigned
+    /// later in the preamble, so `Θ_init` cannot be expressed exactly as an
+    /// assertion over the values at `ℓ_init`.
+    PreambleDependency {
+        /// The variable whose constraint could not be expressed.
+        variable: String,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::NondetGuard => {
+                write!(f, "non-deterministic '*' guard may only appear as a whole 'if' guard")
+            }
+            LowerError::PreambleDependency { variable } => write!(
+                f,
+                "preamble assignment to '{variable}' depends on a variable reassigned later in \
+                 the preamble"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Converts an arithmetic expression to a polynomial over unprimed variables.
+pub(crate) fn expr_to_poly(e: &Expr, vars: &VarTable) -> Poly {
+    match e {
+        Expr::Var(name) => Poly::var(
+            vars.lookup(name)
+                .expect("expression variable must be a program variable"),
+        ),
+        Expr::Const(v) => Poly::constant(Rat::from(v.clone())),
+        Expr::Neg(a) => -expr_to_poly(a, vars),
+        Expr::Bin(op, a, b) => {
+            let pa = expr_to_poly(a, vars);
+            let pb = expr_to_poly(b, vars);
+            match op {
+                BinOp::Add => pa + pb,
+                BinOp::Sub => pa - pb,
+                BinOp::Mul => pa * pb,
+            }
+        }
+    }
+}
+
+/// Converts a comparison to a propositional predicate over unprimed variables
+/// (exactly, using the integer encodings of strict inequalities and
+/// disequalities).
+fn cmp_to_pred(op: CmpOp, lhs: &Poly, rhs: &Poly) -> PropPredicate {
+    let diff_ge = |a: &Poly, b: &Poly| Assertion::ge_zero(a - b); // a - b >= 0
+    let diff_gt = |a: &Poly, b: &Poly| Assertion::ge_zero(a - b - Poly::one()); // a - b >= 1
+    match op {
+        CmpOp::Le => PropPredicate::from_assertion(diff_ge(rhs, lhs)),
+        CmpOp::Lt => PropPredicate::from_assertion(diff_gt(rhs, lhs)),
+        CmpOp::Ge => PropPredicate::from_assertion(diff_ge(lhs, rhs)),
+        CmpOp::Gt => PropPredicate::from_assertion(diff_gt(lhs, rhs)),
+        CmpOp::Eq => PropPredicate::from_assertion(diff_ge(lhs, rhs).and(&diff_ge(rhs, lhs))),
+        CmpOp::Ne => PropPredicate::from_disjuncts([diff_gt(lhs, rhs), diff_gt(rhs, lhs)]),
+    }
+}
+
+/// Converts a boolean guard (or its negation) into disjunctive normal form as
+/// a [`PropPredicate`] over unprimed variables.
+pub(crate) fn bool_to_pred(
+    b: &BoolExpr,
+    vars: &VarTable,
+    negated: bool,
+) -> Result<PropPredicate, LowerError> {
+    match b {
+        BoolExpr::True => Ok(if negated {
+            PropPredicate::unsatisfiable()
+        } else {
+            PropPredicate::tautology()
+        }),
+        BoolExpr::False => Ok(if negated {
+            PropPredicate::tautology()
+        } else {
+            PropPredicate::unsatisfiable()
+        }),
+        BoolExpr::Nondet => Err(LowerError::NondetGuard),
+        BoolExpr::Cmp(op, a, c) => {
+            let op = if negated { op.negate() } else { *op };
+            let pa = expr_to_poly(a, vars);
+            let pc = expr_to_poly(c, vars);
+            Ok(cmp_to_pred(op, &pa, &pc))
+        }
+        BoolExpr::And(a, c) => {
+            let pa = bool_to_pred(a, vars, negated)?;
+            let pc = bool_to_pred(c, vars, negated)?;
+            Ok(if negated { pa.or(&pc) } else { pa.and(&pc) })
+        }
+        BoolExpr::Or(a, c) => {
+            let pa = bool_to_pred(a, vars, negated)?;
+            let pc = bool_to_pred(c, vars, negated)?;
+            Ok(if negated { pa.and(&pc) } else { pa.or(&pc) })
+        }
+        BoolExpr::Not(a) => bool_to_pred(a, vars, !negated),
+    }
+}
+
+struct Builder {
+    vars: VarTable,
+    loc_names: Vec<String>,
+    transitions: Vec<Transition>,
+    next_loc_label: usize,
+}
+
+impl Builder {
+    fn new_loc(&mut self) -> Loc {
+        let loc = Loc(self.loc_names.len());
+        self.loc_names.push(format!("l{}", self.next_loc_label));
+        self.next_loc_label += 1;
+        loc
+    }
+
+    fn frame_all(&self) -> Assertion {
+        let mut a = Assertion::tautology();
+        for i in 0..self.vars.len() {
+            let eq = Poly::var(self.vars.primed(i)) - Poly::var(self.vars.unprimed(i));
+            a.push(eq.clone());
+            a.push(-eq);
+        }
+        a
+    }
+
+    fn frame_except(&self, var: usize) -> Assertion {
+        let mut a = Assertion::tautology();
+        for i in 0..self.vars.len() {
+            if i == var {
+                continue;
+            }
+            let eq = Poly::var(self.vars.primed(i)) - Poly::var(self.vars.unprimed(i));
+            a.push(eq.clone());
+            a.push(-eq);
+        }
+        a
+    }
+
+    fn add_transition(&mut self, source: Loc, target: Loc, relation: Assertion, kind: TransitionKind) {
+        let id = self.transitions.len();
+        self.transitions.push(Transition { id, source, target, relation, kind });
+    }
+
+    /// Adds one guard transition per disjunct of `pred`.
+    fn add_guard_transitions(&mut self, source: Loc, target: Loc, pred: &PropPredicate) {
+        for disjunct in pred.disjuncts() {
+            let relation = disjunct.and(&self.frame_all());
+            self.add_transition(source, target, relation, TransitionKind::Guard);
+        }
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt], entry: Loc, exit: Loc) -> Result<(), LowerError> {
+        if stmts.is_empty() {
+            if entry != exit {
+                self.add_transition(entry, exit, self.frame_all(), TransitionKind::Guard);
+            }
+            return Ok(());
+        }
+        let mut cur = entry;
+        for (i, stmt) in stmts.iter().enumerate() {
+            let next = if i + 1 == stmts.len() { exit } else { self.new_loc() };
+            self.lower_stmt(stmt, cur, next)?;
+            cur = next;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, entry: Loc, exit: Loc) -> Result<(), LowerError> {
+        match stmt {
+            Stmt::Skip => {
+                self.add_transition(entry, exit, self.frame_all(), TransitionKind::Guard);
+            }
+            Stmt::Assume(cond) => {
+                let pred = bool_to_pred(cond, &self.vars, false)?;
+                self.add_guard_transitions(entry, exit, &pred);
+            }
+            Stmt::Assign(name, e) => {
+                let var = self
+                    .vars
+                    .lookup(name)
+                    .expect("assigned variable must be a program variable")
+                    .index();
+                let rhs = expr_to_poly(e, &self.vars);
+                let mut relation = Assertion::eq_zero(Poly::var(self.vars.primed(var)) - &rhs);
+                relation = relation.and(&self.frame_except(var));
+                self.add_transition(entry, exit, relation, TransitionKind::Assign { var, rhs });
+            }
+            Stmt::NdetAssign(name) => {
+                let var = self
+                    .vars
+                    .lookup(name)
+                    .expect("assigned variable must be a program variable")
+                    .index();
+                let relation = self.frame_except(var);
+                self.add_transition(entry, exit, relation, TransitionKind::NdetAssign { var });
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                let then_pred = bool_to_pred(cond, &self.vars, false)?;
+                let else_pred = bool_to_pred(cond, &self.vars, true)?;
+                let then_entry = if then_branch.is_empty() { exit } else { self.new_loc() };
+                let else_entry = if else_branch.is_empty() { exit } else { self.new_loc() };
+                self.add_guard_transitions(entry, then_entry, &then_pred);
+                self.add_guard_transitions(entry, else_entry, &else_pred);
+                if !then_branch.is_empty() {
+                    self.lower_block(then_branch, then_entry, exit)?;
+                }
+                if !else_branch.is_empty() {
+                    self.lower_block(else_branch, else_entry, exit)?;
+                }
+            }
+            Stmt::While(cond, body) => {
+                let enter_pred = bool_to_pred(cond, &self.vars, false)?;
+                let leave_pred = bool_to_pred(cond, &self.vars, true)?;
+                let body_entry = if body.is_empty() { entry } else { self.new_loc() };
+                self.add_guard_transitions(entry, body_entry, &enter_pred);
+                self.add_guard_transitions(entry, exit, &leave_pred);
+                if !body.is_empty() {
+                    self.lower_block(body, body_entry, entry)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes `Θ_init` from the program preamble.
+fn preamble_assertion(program: &Program, vars: &VarTable) -> Result<Assertion, LowerError> {
+    let mut theta = Assertion::tautology();
+    let assigned: BTreeSet<&String> = program.preamble.iter().map(|(x, _)| x).collect();
+    let mut assigned_so_far: BTreeSet<String> = BTreeSet::new();
+    // Final value of each assigned variable, as the textually last assignment.
+    let mut final_exprs: Vec<(String, Expr)> = Vec::new();
+    for (x, e) in &program.preamble {
+        final_exprs.retain(|(y, _)| y != x);
+        final_exprs.push((x.clone(), e.clone()));
+    }
+    // Validate: the right-hand side of a *final* assignment must not mention a
+    // variable that is assigned anywhere in the preamble after this
+    // assignment's position (we approximate by rejecting references to any
+    // assigned variable other than the variable itself before its own final
+    // assignment).  In practice preambles assign constants.
+    for (x, e) in &program.preamble {
+        for v in e.variables() {
+            if assigned.contains(&v) && !assigned_so_far.contains(&v) {
+                return Err(LowerError::PreambleDependency { variable: x.clone() });
+            }
+        }
+        assigned_so_far.insert(x.clone());
+    }
+    for (x, e) in &final_exprs {
+        let var = vars.lookup(x).expect("preamble variable must be known");
+        let rhs = expr_to_poly(e, vars);
+        let eq = Assertion::eq_zero(Poly::var(var) - rhs);
+        theta = theta.and(&eq);
+    }
+    Ok(theta)
+}
+
+/// Lowers a program to its transition system.
+///
+/// Non-deterministic branching is first removed (Section 2 of the paper), so
+/// the resulting system contains non-determinism only in the form of
+/// non-deterministic-assignment transitions.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the program cannot be translated exactly.
+pub fn lower(program: &Program) -> Result<TransitionSystem, LowerError> {
+    let program = remove_nondet_branching(program);
+    let vars = VarTable::new(program.variables());
+    let theta = preamble_assertion(&program, &vars)?;
+
+    let mut builder = Builder {
+        vars: vars.clone(),
+        loc_names: vec!["out".to_string()],
+        transitions: Vec::new(),
+        next_loc_label: 0,
+    };
+    let terminal = Loc(0);
+    let init = if program.body.is_empty() {
+        terminal
+    } else {
+        let init = builder.new_loc();
+        builder.lower_block(&program.body, init, terminal)?;
+        init
+    };
+    // Terminal self-loop (identity relation), as required by Definition 2.2.
+    builder.add_transition(
+        terminal,
+        terminal,
+        builder.frame_all(),
+        TransitionKind::TerminalSelfLoop,
+    );
+    Ok(TransitionSystem::new(
+        vars,
+        builder.loc_names,
+        init,
+        theta,
+        terminal,
+        builder.transitions,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_lang::parse_program;
+    use revterm_num::int;
+    use revterm_poly::Var;
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    #[test]
+    fn lower_running_example_structure() {
+        let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
+        assert_eq!(ts.vars().len(), 2);
+        // 6 locations as in Fig. 1: l0..l4 plus out.
+        assert_eq!(ts.num_locs(), 6);
+        assert_eq!(ts.ndet_transitions().count(), 1);
+        assert!(ts.has_nondeterminism());
+        // Every location except `out` has at least one outgoing transition,
+        // and `out` has its self-loop.
+        for loc in ts.locations() {
+            assert!(ts.transitions_from(loc).count() >= 1, "no transition from {loc:?}");
+        }
+        let term_loops: Vec<_> = ts
+            .transitions_from(ts.terminal_loc())
+            .filter(|t| matches!(t.kind, TransitionKind::TerminalSelfLoop))
+            .collect();
+        assert_eq!(term_loops.len(), 1);
+        assert_eq!(term_loops[0].target, ts.terminal_loc());
+    }
+
+    #[test]
+    fn lower_preamble_becomes_theta_init() {
+        let ts = lower(&parse_program("n := 0; b := 0; while b == 0 do n := n + 1; od").unwrap())
+            .unwrap();
+        let theta = ts.init_assertion();
+        // n = 0 /\ b = 0 holds, n = 1 does not.
+        assert!(theta.holds_int(&|_| int(0)));
+        assert!(!theta.holds_int(&|v| if v == Var(0) { int(1) } else { int(0) }));
+        // Unassigned variables are unconstrained.
+        let ts2 = lower(&parse_program("n := 5; while x >= 0 do x := x - n; od").unwrap()).unwrap();
+        let n = ts2.vars().lookup("n").unwrap();
+        assert!(ts2
+            .init_assertion()
+            .holds_int(&|v| if v == n { int(5) } else { int(-1234) }));
+    }
+
+    #[test]
+    fn lower_rejects_dependent_preamble() {
+        let err = lower(&parse_program("x := y + 1; y := 0; while x >= 0 do skip; od").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, LowerError::PreambleDependency { .. }));
+        // Referencing an already-assigned variable is fine.
+        assert!(lower(&parse_program("y := 0; x := y + 1; while x >= 0 do skip; od").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn lower_guard_dnf_produces_one_transition_per_disjunct() {
+        // Guard `x != 0` has a 2-disjunct DNF, so the loop head gets two
+        // entering-the-body transitions.
+        let ts = lower(&parse_program("while x != 0 do x := x - 1; od").unwrap()).unwrap();
+        let head = ts.init_loc();
+        let body_edges: Vec<_> = ts
+            .transitions_from(head)
+            .filter(|t| t.target != ts.terminal_loc())
+            .collect();
+        assert_eq!(body_edges.len(), 2);
+        // The exit edge carries the negation x == 0 (a single disjunct).
+        let exit_edges: Vec<_> = ts
+            .transitions_from(head)
+            .filter(|t| t.target == ts.terminal_loc())
+            .collect();
+        assert_eq!(exit_edges.len(), 1);
+    }
+
+    #[test]
+    fn lower_relations_are_exact() {
+        let ts = lower(&parse_program("while x >= 9 do x := x + 1; od").unwrap()).unwrap();
+        let head = ts.init_loc();
+        // Guard transition (x >= 9) keeps x unchanged.
+        let guard = ts
+            .transitions_from(head)
+            .find(|t| t.target != ts.terminal_loc())
+            .unwrap();
+        let holds = |x: i64, xp: i64| {
+            guard
+                .relation
+                .holds_int(&|v| if v == Var(0) { int(x) } else { int(xp) })
+        };
+        assert!(holds(9, 9));
+        assert!(!holds(8, 8));
+        assert!(!holds(9, 10));
+        // Assignment transition x := x + 1.
+        let assign = ts
+            .transitions()
+            .iter()
+            .find(|t| matches!(t.kind, TransitionKind::Assign { .. }))
+            .unwrap();
+        let holds = |x: i64, xp: i64| {
+            assign
+                .relation
+                .holds_int(&|v| if v == Var(0) { int(x) } else { int(xp) })
+        };
+        assert!(holds(3, 4));
+        assert!(!holds(3, 3));
+    }
+
+    #[test]
+    fn lower_nondet_branching_is_desugared() {
+        let ts = lower(
+            &parse_program("while x >= 0 do if * then x := x + 1; else x := x - 1; fi od").unwrap(),
+        )
+        .unwrap();
+        // The fresh variable xndet becomes a program variable and the `*`
+        // guard becomes a non-deterministic assignment plus a sign test.
+        assert_eq!(ts.vars().len(), 2);
+        assert_eq!(ts.ndet_transitions().count(), 1);
+    }
+
+    #[test]
+    fn lower_empty_and_straightline_programs() {
+        let ts = lower(&parse_program("x := 1; y := 2;").unwrap()).unwrap();
+        // Whole program is preamble: init = out.
+        assert_eq!(ts.init_loc(), ts.terminal_loc());
+        assert_eq!(ts.num_locs(), 1);
+
+        let ts = lower(&parse_program("skip;").unwrap()).unwrap();
+        assert_ne!(ts.init_loc(), ts.terminal_loc());
+        assert_eq!(ts.num_locs(), 2);
+    }
+
+    #[test]
+    fn lower_fig2_example_structure() {
+        let src = "n := 0; b := 0; u := 0;\
+                   while b == 0 and n <= 99 do \
+                     u := ndet(); \
+                     if u <= -1 then b := -1; elseif u == 0 then b := 0; else b := 1; fi \
+                     n := n + 1; \
+                     if n >= 100 and b >= 1 then while true do skip; od fi \
+                   od";
+        let ts = lower(&parse_program(src).unwrap()).unwrap();
+        assert_eq!(ts.vars().len(), 3);
+        assert_eq!(ts.ndet_transitions().count(), 1);
+        assert!(ts.init_assertion().holds_int(&|_| int(0)));
+        assert!(!ts.init_assertion().holds_int(&|_| int(1)));
+    }
+
+    #[test]
+    fn expr_and_bool_conversion() {
+        let vars = VarTable::new(vec!["x".into(), "y".into()]);
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::int(10)),
+            Box::new(Expr::var("x")),
+        );
+        let p = expr_to_poly(&e, &vars);
+        assert_eq!(p.eval(&|_| revterm_num::rat(3)), revterm_num::rat(30));
+
+        // x < y  <=>  y - x - 1 >= 0; its negation is x >= y.
+        let b = BoolExpr::cmp(CmpOp::Lt, Expr::var("x"), Expr::var("y"));
+        let pos = bool_to_pred(&b, &vars, false).unwrap();
+        let neg = bool_to_pred(&b, &vars, true).unwrap();
+        for (x, y) in [(1, 2), (2, 2), (3, 2)] {
+            let assign = move |v: Var| if v == Var(0) { int(x) } else { int(y) };
+            assert_eq!(pos.holds_int(&assign), x < y);
+            assert_eq!(neg.holds_int(&assign), x >= y);
+        }
+    }
+}

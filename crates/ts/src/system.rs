@@ -1,0 +1,403 @@
+//! Transition systems (Definition 2.2) and program reversal (Definition 3.1).
+
+use crate::assertion::Assertion;
+use crate::vars::VarTable;
+use revterm_poly::Poly;
+use std::fmt;
+
+/// A location of a transition system (index into the location table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(pub usize);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Structured information about what a transition does.
+///
+/// Every transition carries a full relation ([`Transition::relation`]), which
+/// is the ground truth used by constraint generation and certificate
+/// checking.  The kind is redundant metadata that allows the concrete
+/// interpreter, the resolution of non-determinism and the baseline provers to
+/// execute transitions directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A pure guard: program variables are unchanged.
+    Guard,
+    /// A deterministic polynomial assignment `var := rhs` (guarded by the
+    /// unprimed part of the relation, if any).
+    Assign {
+        /// Index of the assigned program variable.
+        var: usize,
+        /// The polynomial right-hand side over unprimed variables.
+        rhs: Poly,
+    },
+    /// A non-deterministic assignment `var := ndet()`.
+    NdetAssign {
+        /// Index of the assigned program variable.
+        var: usize,
+    },
+    /// The self-loop at the terminal location `ℓ_out`.
+    TerminalSelfLoop,
+    /// An unstructured transition (used for reversed systems).
+    General,
+}
+
+/// A transition `(source, target, relation)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Identifier (index into the transition table of the owning system).
+    pub id: usize,
+    /// Source location.
+    pub source: Loc,
+    /// Target location.
+    pub target: Loc,
+    /// The transition relation: an assertion over unprimed (source-state) and
+    /// primed (target-state) variables.
+    pub relation: Assertion,
+    /// Structured metadata.
+    pub kind: TransitionKind,
+}
+
+impl Transition {
+    /// Returns `true` iff this transition is a non-deterministic assignment
+    /// (i.e. belongs to the paper's set `T_NA`).
+    pub fn is_ndet_assign(&self) -> bool {
+        matches!(self.kind, TransitionKind::NdetAssign { .. })
+    }
+}
+
+/// A transition system `T = (L, V, ℓ_init, Θ_init, →)` with a dedicated
+/// terminal location `ℓ_out` carrying a self-loop (Definition 2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionSystem {
+    vars: VarTable,
+    loc_names: Vec<String>,
+    init_loc: Loc,
+    init_assertion: Assertion,
+    terminal_loc: Loc,
+    transitions: Vec<Transition>,
+}
+
+impl TransitionSystem {
+    /// Creates a transition system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a location index referenced by a transition or by
+    /// `init_loc`/`terminal_loc` is out of range, or if transition ids are
+    /// not consecutive indices.
+    pub fn new(
+        vars: VarTable,
+        loc_names: Vec<String>,
+        init_loc: Loc,
+        init_assertion: Assertion,
+        terminal_loc: Loc,
+        transitions: Vec<Transition>,
+    ) -> TransitionSystem {
+        let n = loc_names.len();
+        assert!(init_loc.0 < n, "initial location out of range");
+        assert!(terminal_loc.0 < n, "terminal location out of range");
+        for (i, t) in transitions.iter().enumerate() {
+            assert_eq!(t.id, i, "transition ids must be consecutive");
+            assert!(t.source.0 < n && t.target.0 < n, "transition location out of range");
+        }
+        TransitionSystem {
+            vars,
+            loc_names,
+            init_loc,
+            init_assertion,
+            terminal_loc,
+            transitions,
+        }
+    }
+
+    /// The program variables.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Number of locations.
+    pub fn num_locs(&self) -> usize {
+        self.loc_names.len()
+    }
+
+    /// All locations.
+    pub fn locations(&self) -> impl Iterator<Item = Loc> {
+        (0..self.num_locs()).map(Loc)
+    }
+
+    /// The human-readable name of a location.
+    pub fn loc_name(&self, loc: Loc) -> &str {
+        &self.loc_names[loc.0]
+    }
+
+    /// The initial location `ℓ_init`.
+    pub fn init_loc(&self) -> Loc {
+        self.init_loc
+    }
+
+    /// The initial variable valuations `Θ_init` (an assertion over unprimed
+    /// variables).
+    pub fn init_assertion(&self) -> &Assertion {
+        &self.init_assertion
+    }
+
+    /// The terminal location `ℓ_out`.
+    pub fn terminal_loc(&self) -> Loc {
+        self.terminal_loc
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The transition with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn transition(&self, id: usize) -> &Transition {
+        &self.transitions[id]
+    }
+
+    /// The transitions leaving a location.
+    pub fn transitions_from(&self, loc: Loc) -> impl Iterator<Item = &Transition> + '_ {
+        self.transitions.iter().filter(move |t| t.source == loc)
+    }
+
+    /// The transitions entering a location.
+    pub fn transitions_to(&self, loc: Loc) -> impl Iterator<Item = &Transition> + '_ {
+        self.transitions.iter().filter(move |t| t.target == loc)
+    }
+
+    /// The transitions corresponding to non-deterministic assignments
+    /// (the paper's `T_NA`).
+    pub fn ndet_transitions(&self) -> impl Iterator<Item = &Transition> + '_ {
+        self.transitions.iter().filter(|t| t.is_ndet_assign())
+    }
+
+    /// Returns `true` iff the system contains non-deterministic assignments.
+    pub fn has_nondeterminism(&self) -> bool {
+        self.ndet_transitions().next().is_some()
+    }
+
+    /// The reversed transition system `T^{r,Θ}` of Definition 3.1.
+    ///
+    /// Every transition `(ℓ, ℓ', ρ)` becomes `(ℓ', ℓ, ρ')` where `ρ'` swaps
+    /// primed and unprimed variables, the initial location becomes `ℓ_out`
+    /// and the initial variable valuations become `theta`.
+    ///
+    /// The key property (Lemma 3.3) is that `c'` is reachable from `c` in
+    /// `T` iff `c` is reachable from `c'` in the reversed system; it is
+    /// exercised extensively by the test suites of this crate and the core
+    /// crate.
+    pub fn reverse(&self, theta: Assertion) -> TransitionSystem {
+        let transitions = self
+            .transitions
+            .iter()
+            .map(|t| Transition {
+                id: t.id,
+                source: t.target,
+                target: t.source,
+                relation: t.relation.rename(&|v| self.vars.swap_primes(v)),
+                kind: if matches!(t.kind, TransitionKind::TerminalSelfLoop) {
+                    TransitionKind::TerminalSelfLoop
+                } else {
+                    TransitionKind::General
+                },
+            })
+            .collect();
+        TransitionSystem {
+            vars: self.vars.clone(),
+            loc_names: self.loc_names.clone(),
+            init_loc: self.terminal_loc,
+            init_assertion: theta,
+            terminal_loc: self.init_loc,
+            transitions,
+        }
+    }
+
+    /// Replaces the relation (and kind) of a single transition, returning a
+    /// new system. Used to build under-approximations.
+    pub fn with_transition_relation(
+        &self,
+        id: usize,
+        relation: Assertion,
+        kind: TransitionKind,
+    ) -> TransitionSystem {
+        let mut out = self.clone();
+        out.transitions[id].relation = relation;
+        out.transitions[id].kind = kind;
+        out
+    }
+
+    /// Pretty-prints the whole system.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "vars: {}\ninit: {} with {}\nterminal: {}\n",
+            self.vars,
+            self.loc_name(self.init_loc),
+            self.init_assertion.display_with(&self.vars),
+            self.loc_name(self.terminal_loc)
+        ));
+        for t in &self.transitions {
+            out.push_str(&format!(
+                "  t{}: {} -> {} [{}]\n",
+                t.id,
+                self.loc_name(t.source),
+                self.loc_name(t.target),
+                t.relation.display_with(&self.vars)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TransitionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_poly::Var;
+
+    /// Builds a tiny two-location system:
+    /// l0 --[x' = x + 1]--> l0,  l0 --[x <= 0, x' = x]--> l1 (= out, self-loop).
+    fn tiny() -> TransitionSystem {
+        let vars = VarTable::new(vec!["x".into()]);
+        let x = Poly::var(vars.unprimed(0));
+        let xp = Poly::var(vars.primed(0));
+        let inc = Assertion::eq_zero(&xp - &(&x + &Poly::one()));
+        let exit = Assertion::from_polys([-(x.clone()), xp.clone() - x.clone(), x - xp])
+            ;
+        let idloop = Assertion::eq_zero(Poly::var(vars.primed(0)) - Poly::var(vars.unprimed(0)));
+        TransitionSystem::new(
+            vars,
+            vec!["l0".into(), "out".into()],
+            Loc(0),
+            Assertion::tautology(),
+            Loc(1),
+            vec![
+                Transition {
+                    id: 0,
+                    source: Loc(0),
+                    target: Loc(0),
+                    relation: inc,
+                    kind: TransitionKind::Assign { var: 0, rhs: Poly::var(Var(0)) + Poly::one() },
+                },
+                Transition {
+                    id: 1,
+                    source: Loc(0),
+                    target: Loc(1),
+                    relation: exit,
+                    kind: TransitionKind::Guard,
+                },
+                Transition {
+                    id: 2,
+                    source: Loc(1),
+                    target: Loc(1),
+                    relation: idloop,
+                    kind: TransitionKind::TerminalSelfLoop,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let ts = tiny();
+        assert_eq!(ts.num_locs(), 2);
+        assert_eq!(ts.init_loc(), Loc(0));
+        assert_eq!(ts.terminal_loc(), Loc(1));
+        assert_eq!(ts.transitions().len(), 3);
+        assert_eq!(ts.transitions_from(Loc(0)).count(), 2);
+        assert_eq!(ts.transitions_to(Loc(1)).count(), 2);
+        assert_eq!(ts.ndet_transitions().count(), 0);
+        assert!(!ts.has_nondeterminism());
+        assert_eq!(ts.loc_name(Loc(1)), "out");
+        assert_eq!(ts.locations().count(), 2);
+    }
+
+    #[test]
+    fn reversal_swaps_everything() {
+        let ts = tiny();
+        let rev = ts.reverse(Assertion::tautology());
+        assert_eq!(rev.init_loc(), Loc(1));
+        assert_eq!(rev.terminal_loc(), Loc(0));
+        // Transition 0 was l0 -> l0 with relation x' = x + 1; reversed it is
+        // l0 -> l0 with relation x = x' + 1.
+        let t0 = rev.transition(0);
+        assert_eq!(t0.source, Loc(0));
+        assert_eq!(t0.target, Loc(0));
+        let vars = rev.vars();
+        // The reversed relation should hold for (x, x') = (5, 4).
+        assert!(t0.relation.holds_int(&|v| {
+            if vars.is_primed(v) {
+                revterm_num::int(4)
+            } else {
+                revterm_num::int(5)
+            }
+        }));
+        // ... and not for (4, 5), which satisfied the original.
+        assert!(!t0.relation.holds_int(&|v| {
+            if vars.is_primed(v) {
+                revterm_num::int(5)
+            } else {
+                revterm_num::int(4)
+            }
+        }));
+    }
+
+    #[test]
+    fn double_reversal_restores_relations() {
+        let ts = tiny();
+        let back = ts.reverse(Assertion::tautology()).reverse(ts.init_assertion().clone());
+        assert_eq!(back.init_loc(), ts.init_loc());
+        assert_eq!(back.terminal_loc(), ts.terminal_loc());
+        for (a, b) in ts.transitions().iter().zip(back.transitions()) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.relation, b.relation);
+        }
+    }
+
+    #[test]
+    fn with_transition_relation_replaces_only_one() {
+        let ts = tiny();
+        let new_rel = Assertion::unsatisfiable();
+        let modified = ts.with_transition_relation(1, new_rel.clone(), TransitionKind::General);
+        assert_eq!(modified.transition(1).relation, new_rel);
+        assert_eq!(modified.transition(0).relation, ts.transition(0).relation);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_location_panics() {
+        let vars = VarTable::new(vec!["x".into()]);
+        let _ = TransitionSystem::new(
+            vars,
+            vec!["l0".into()],
+            Loc(0),
+            Assertion::tautology(),
+            Loc(3),
+            vec![],
+        );
+    }
+
+    #[test]
+    fn display_mentions_locations_and_relations() {
+        let ts = tiny();
+        let s = ts.display();
+        assert!(s.contains("l0"));
+        assert!(s.contains("out"));
+        assert!(s.contains("x'"));
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's Fig. 3 / Appendix C example: every non-terminating execution
+//! is aperiodic, so lasso-based provers cannot prove non-termination, while
+//! RevTerm's set-based Check 1 succeeds.
+//!
+//! ```text
+//! cargo run -p revterm-examples --example aperiodic
+//! ```
+
+use revterm::ProverConfig;
+use revterm_baselines::{BaselineProver, BaselineVerdict, LassoProver};
+use revterm_examples::{build, prove_and_report};
+use revterm_suite::APERIODIC;
+
+fn main() {
+    println!("Fig. 3 aperiodic example:\n{APERIODIC}\n");
+    let ts = build(APERIODIC);
+
+    // The lasso baseline explores concrete runs looking for a repeated
+    // configuration; since x strictly grows between visits of the outer loop
+    // head, it never finds one.
+    let lasso = LassoProver::default().analyze(&ts);
+    println!(
+        "lasso baseline (periodic counterexamples only): {:?} in {:.2?}",
+        lasso.verdict, lasso.elapsed
+    );
+    assert_eq!(lasso.verdict, BaselineVerdict::Unknown);
+
+    // RevTerm's Check 1 finds the diverging initial configuration x = 1 with
+    // the invariant x >= 1 (Example C.1).
+    let result = prove_and_report("fig3", &ts, &[ProverConfig::default()]);
+    assert!(result.is_non_terminating());
+}

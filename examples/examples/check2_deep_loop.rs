@@ -1,0 +1,43 @@
+//! The paper's Fig. 2 family (Example 5.5): a counter with an escape hatch
+//! deep inside the loop.  No initial configuration is diverging with respect
+//! to any low-degree resolution of non-determinism, so Check 1 cannot apply;
+//! Check 2 finds a backward invariant whose complement is reachable.
+//!
+//! ```text
+//! cargo run -p revterm-examples --example check2_deep_loop
+//! ```
+
+use revterm::{CheckKind, ProverConfig};
+use revterm_examples::{build, prove_and_report};
+use revterm_invgen::TemplateParams;
+
+fn main() {
+    // The scaled-down Fig. 2 instance (bound 3) used throughout the tests;
+    // the full bound-99 version is `revterm_suite::FIG2`.
+    let source = "n := 0; b := 0; u := 0; \
+        while b == 0 and n <= 3 do \
+          u := ndet(); \
+          if u <= -1 then b := -1; elseif u == 0 then b := 0; else b := 1; fi \
+          n := n + 1; \
+          if n >= 4 and b >= 1 then while true do skip; od fi \
+        od";
+    println!("Fig. 2 (scaled) example:\n{source}\n");
+    let ts = build(source);
+
+    // Check 1 with constant/linear resolutions fails: whatever value the
+    // resolution picks for u, the very first iteration either exits the loop
+    // or keeps b = 0, and the program terminates from every initial state.
+    let check1 = prove_and_report("fig2/check1", &ts, &[ProverConfig::default()]);
+    assert!(!check1.is_non_terminating());
+
+    // Check 2 succeeds: Θ = Ĩ(ℓ_out) bounds the terminal valuations, the
+    // backward invariant excludes the configurations that are about to enter
+    // the inner infinite loop, and the safety prover reaches one of them.
+    let config = ProverConfig {
+        check: CheckKind::Check2,
+        params: TemplateParams::new(3, 1, 1),
+        ..ProverConfig::default()
+    };
+    let check2 = prove_and_report("fig2/check2", &ts, &[config]);
+    assert!(check2.is_non_terminating());
+}

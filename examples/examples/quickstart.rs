@@ -1,0 +1,21 @@
+//! Quickstart: prove non-termination of a small non-deterministic program.
+//!
+//! ```text
+//! cargo run -p revterm-examples --example quickstart
+//! ```
+
+use revterm::quick_sweep;
+use revterm_examples::{build, prove_and_report};
+
+fn main() {
+    // A loop that can always keep x large by choosing the right value for
+    // the non-deterministic assignment.
+    let source = "while x >= 5 do x := ndet(); od";
+    println!("program:\n{source}\n");
+
+    let ts = build(source);
+    println!("transition system:\n{}", ts.display());
+
+    let result = prove_and_report("quickstart", &ts, &quick_sweep());
+    assert!(result.is_non_terminating());
+}

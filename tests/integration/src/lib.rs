@@ -1,0 +1,19 @@
+//! Cross-crate integration tests for the RevTerm reproduction.
+//!
+//! The actual tests live in `tests/`; this library only provides a couple of
+//! helpers shared between them.
+
+#![forbid(unsafe_code)]
+
+use revterm_lang::parse_program;
+use revterm_ts::{lower, TransitionSystem};
+
+/// Parses and lowers a known-good program source.
+///
+/// # Panics
+///
+/// Panics if the source does not parse or lower; integration tests only use
+/// sources that are expected to be valid.
+pub fn build(source: &str) -> TransitionSystem {
+    lower(&parse_program(source).expect("program must parse")).expect("program must lower")
+}

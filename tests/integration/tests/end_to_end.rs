@@ -1,0 +1,94 @@
+//! End-to-end integration tests: parse → lower → prove → validate, across the
+//! benchmark suite.
+
+use revterm::{prove, prove_with_configs, quick_sweep, ProverConfig};
+use revterm_suite::{curated_benchmarks, Expected};
+
+/// Benchmarks that the default Check 1 configuration is expected to prove
+/// (the "easy NO" core of the suite).
+const EASY_NO: &[&str] = &[
+    "paper_fig1_running",
+    "paper_fig3_aperiodic",
+    "nt_while_true",
+    "nt_counter_up",
+    "nt_counter_stuck",
+    "nt_ndet_keep_high",
+    "nt_nested_refill",
+    "nt_aperiodic_double",
+    "nt_guard_equal",
+];
+
+#[test]
+fn check1_proves_the_easy_no_core() {
+    let suite = curated_benchmarks();
+    for name in EASY_NO {
+        let bench = suite.iter().find(|b| b.name == *name).expect("benchmark exists");
+        let ts = bench.transition_system();
+        let result = prove(&ts, &ProverConfig::default());
+        assert!(
+            result.is_non_terminating(),
+            "{name} should be proved non-terminating by the default Check 1 configuration"
+        );
+    }
+}
+
+#[test]
+fn no_terminating_benchmark_is_ever_claimed_non_terminating() {
+    // Soundness sweep: run the default configuration on every benchmark that
+    // is labelled terminating; none may be claimed non-terminating.  (The
+    // prover additionally re-validates certificates internally, so a failure
+    // here would indicate a serious bug.)
+    for bench in curated_benchmarks() {
+        if bench.expected != Expected::Terminating {
+            continue;
+        }
+        let ts = bench.transition_system();
+        let result = prove(&ts, &ProverConfig::default());
+        assert!(
+            !result.is_non_terminating(),
+            "soundness violation on terminating benchmark {}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn quick_sweep_covers_the_paper_examples() {
+    let suite = curated_benchmarks();
+    for name in ["paper_fig1_running", "paper_fig3_aperiodic", "paper_fig2_small"] {
+        let bench = suite.iter().find(|b| b.name == name).unwrap();
+        let ts = bench.transition_system();
+        let result = prove_with_configs(&ts, &quick_sweep());
+        assert!(result.is_non_terminating(), "{name} should be proved by the quick sweep");
+    }
+}
+
+#[test]
+fn certificates_of_proved_benchmarks_revalidate() {
+    use revterm::validate_certificate;
+    use revterm_solver::EntailmentOptions;
+    let suite = curated_benchmarks();
+    for name in ["paper_fig1_running", "nt_counter_up", "nt_branch_keep"] {
+        let bench = suite.iter().find(|b| b.name == name).unwrap();
+        let ts = bench.transition_system();
+        let result = prove_with_configs(&ts, &quick_sweep());
+        let cert = result.certificate().unwrap_or_else(|| panic!("{name} should be proved"));
+        assert_eq!(
+            validate_certificate(&ts, cert, &EntailmentOptions::default()),
+            Ok(()),
+            "certificate of {name} must validate independently"
+        );
+    }
+}
+
+#[test]
+fn nondeterministic_branching_programs_are_handled_end_to_end() {
+    let suite = curated_benchmarks();
+    let bench = suite.iter().find(|b| b.name == "nt_branch_one_way").unwrap();
+    let ts = bench.transition_system();
+    // Branching non-determinism is desugared to an assignment, so the system
+    // has exactly one non-deterministic transition and Check 1 can resolve it.
+    assert_eq!(ts.ndet_transitions().count(), 1);
+    let result = prove(&ts, &ProverConfig::default());
+    assert!(result.is_non_terminating());
+}
