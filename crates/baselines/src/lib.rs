@@ -146,7 +146,10 @@ pub struct QuasiInvariantProver {
 
 impl Default for QuasiInvariantProver {
     fn default() -> Self {
-        QuasiInvariantProver { params: TemplateParams::new(2, 1, 1), bounds: SearchBounds::default() }
+        QuasiInvariantProver {
+            params: TemplateParams::new(2, 1, 1),
+            bounds: SearchBounds::default(),
+        }
     }
 }
 
@@ -212,16 +215,10 @@ impl BaselineProver for QuasiInvariantProver {
 // ---------------------------------------------------------------------------
 
 /// Guard-preservation loop acceleration (LoAT-style).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AccelerationProver {
     /// Search bounds for the reachability pre-check.
     pub bounds: SearchBounds,
-}
-
-impl Default for AccelerationProver {
-    fn default() -> Self {
-        AccelerationProver { bounds: SearchBounds::default() }
-    }
 }
 
 impl BaselineProver for AccelerationProver {
@@ -281,9 +278,9 @@ impl BaselineProver for AccelerationProver {
             // Additionally every location in the SCC must have at least one
             // internal outgoing transition (otherwise the run could be forced
             // out of the SCC).
-            let closed = scc.iter().all(|&loc| {
-                ts.transitions_from(loc).any(|t| scc_set.contains(&t.target))
-            });
+            let closed = scc
+                .iter()
+                .all(|&loc| ts.transitions_from(loc).any(|t| scc_set.contains(&t.target)));
             if !(preserved && closed) {
                 continue;
             }
@@ -498,10 +495,7 @@ mod tests {
             prover.analyze(&ts("while x >= 0 do x := x + 1; od")).verdict,
             BaselineVerdict::Unknown
         );
-        assert_eq!(
-            prover.analyze(&ts("while true do skip; od")).verdict,
-            BaselineVerdict::Unknown
-        );
+        assert_eq!(prover.analyze(&ts("while true do skip; od")).verdict, BaselineVerdict::Unknown);
         // A conservative Unknown on a terminating loop is acceptable.
         let counter = prover.analyze(&ts("while x >= 0 do x := x - 1; od")).verdict;
         assert_ne!(counter, BaselineVerdict::NonTerminating);

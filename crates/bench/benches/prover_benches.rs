@@ -1,45 +1,69 @@
-//! Criterion benchmarks: per-program runtime of the prover's successful
-//! configurations (the timing shape discussed in Section 6: RevTerm's
-//! successful configurations are cheap, single-shot synthesis calls) and of
-//! the two structural building blocks, lowering and reversal.
+//! Micro-benchmarks (`cargo bench -p revterm-bench`): per-program runtime of
+//! the prover's successful configurations (the timing shape discussed in
+//! Section 6: RevTerm's successful configurations are cheap, single-shot
+//! synthesis calls) and of the two structural building blocks, lowering and
+//! reversal.
+//!
+//! No external benchmarking crate is available in this workspace, so this is
+//! a plain `harness = false` binary that reports min/mean wall-clock times
+//! over a fixed number of iterations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use revterm::{prove, ProverConfig};
+use revterm::{ProverConfig, ProverSession};
 use revterm_lang::parse_program;
 use revterm_suite::{APERIODIC, RUNNING_EXAMPLE};
 use revterm_ts::{lower, Assertion};
+use std::time::{Duration, Instant};
 
-fn bench_prover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prove_non_termination");
-    group.sample_size(10);
+fn time<R>(iters: usize, mut f: impl FnMut() -> R) -> (Duration, Duration) {
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    (min, total / iters as u32)
+}
+
+fn report(name: &str, iters: usize, (min, mean): (Duration, Duration)) {
+    println!("{name:<40} min {min:>12.2?}   mean {mean:>12.2?}   ({iters} iters)");
+}
+
+fn main() {
+    println!("== prove_non_termination (fresh prover per call) ==");
     for (name, src) in [
         ("fig1_running_example", RUNNING_EXAMPLE),
         ("fig3_aperiodic", APERIODIC),
         ("simple_counter_up", "while x >= 0 do x := x + 1; od"),
     ] {
         let ts = lower(&parse_program(src).unwrap()).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let result = prove(&ts, &ProverConfig::default());
-                assert!(result.is_non_terminating());
-            })
+        let stats = time(10, || {
+            let result = revterm::prove(&ts, &ProverConfig::default());
+            assert!(result.is_non_terminating());
         });
+        report(name, 10, stats);
     }
-    group.finish();
-}
 
-fn bench_structure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("structural");
+    println!("\n== prove_non_termination (shared session) ==");
+    for (name, src) in [
+        ("fig1_running_example", RUNNING_EXAMPLE),
+        ("fig3_aperiodic", APERIODIC),
+        ("simple_counter_up", "while x >= 0 do x := x + 1; od"),
+    ] {
+        let ts = lower(&parse_program(src).unwrap()).unwrap();
+        let mut session = ProverSession::new(ts);
+        let stats = time(10, || {
+            let result = session.prove(&ProverConfig::default());
+            assert!(result.is_non_terminating());
+        });
+        report(name, 10, stats);
+    }
+
+    println!("\n== structural ==");
     let program = parse_program(RUNNING_EXAMPLE).unwrap();
-    group.bench_function("lower_running_example", |b| {
-        b.iter(|| lower(&program).unwrap())
-    });
+    report("lower_running_example", 100, time(100, || lower(&program).unwrap()));
     let ts = lower(&program).unwrap();
-    group.bench_function("reverse_running_example", |b| {
-        b.iter(|| ts.reverse(Assertion::tautology()))
-    });
-    group.finish();
+    report("reverse_running_example", 100, time(100, || ts.reverse(Assertion::tautology())));
 }
-
-criterion_group!(benches, bench_prover, bench_structure);
-criterion_main!(benches);

@@ -14,10 +14,7 @@ fn main() {
     println!(
         "Table 1 reproduction on {} benchmarks ({} expected NO)",
         suite.len(),
-        suite
-            .iter()
-            .filter(|b| b.expected == revterm_suite::Expected::NonTerminating)
-            .count()
+        suite.iter().filter(|b| b.expected == revterm_suite::Expected::NonTerminating).count()
     );
 
     // RevTerm: full sweep, stop at the first successful configuration per

@@ -9,10 +9,7 @@ fn main() {
     println!(
         "Table 2 reproduction on {} benchmarks ({} expected NO)",
         suite.len(),
-        suite
-            .iter()
-            .filter(|b| b.expected == revterm_suite::Expected::NonTerminating)
-            .count()
+        suite.iter().filter(|b| b.expected == revterm_suite::Expected::NonTerminating).count()
     );
 
     let revterm_runs = run_revterm(&suite, &revterm::quick_sweep(), 1);

@@ -7,10 +7,8 @@ use revterm_bench::*;
 use revterm_suite::Expected;
 
 fn main() {
-    let suite: Vec<_> = table_suite()
-        .into_iter()
-        .filter(|b| b.expected == Expected::NonTerminating)
-        .collect();
+    let suite: Vec<_> =
+        table_suite().into_iter().filter(|b| b.expected == Expected::NonTerminating).collect();
     println!("Table 3 reproduction on {} non-terminating benchmarks", suite.len());
 
     // Run the full (reduced) grid without early stopping so that every cell

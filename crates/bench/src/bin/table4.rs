@@ -6,10 +6,8 @@ use revterm_bench::*;
 use revterm_suite::Expected;
 
 fn main() {
-    let suite: Vec<_> = table_suite()
-        .into_iter()
-        .filter(|b| b.expected == Expected::NonTerminating)
-        .collect();
+    let suite: Vec<_> =
+        table_suite().into_iter().filter(|b| b.expected == Expected::NonTerminating).collect();
     println!("Table 4 reproduction on {} non-terminating benchmarks", suite.len());
 
     let runs = run_revterm(&suite, &table_sweep_configs(), usize::MAX);

@@ -16,7 +16,7 @@
 
 #![forbid(unsafe_code)]
 
-use revterm::{sweep, ProverConfig, SweepReport};
+use revterm::{ProverConfig, SweepReport};
 use revterm_baselines::{BaselineProver, BaselineVerdict, RankingProver};
 use revterm_suite::{Benchmark, Expected};
 use std::time::Duration;
@@ -45,13 +45,18 @@ pub struct BaselineRun {
     pub elapsed: Duration,
 }
 
-/// Runs the RevTerm sweep on every benchmark.
-pub fn run_revterm(suite: &[Benchmark], configs: &[ProverConfig], stop_after: usize) -> Vec<RevTermRun> {
+/// Runs the RevTerm sweep on every benchmark, one prover session per
+/// benchmark so that the whole configuration grid shares derived artifacts.
+pub fn run_revterm(
+    suite: &[Benchmark],
+    configs: &[ProverConfig],
+    stop_after: usize,
+) -> Vec<RevTermRun> {
     suite
         .iter()
         .map(|b| {
-            let ts = b.transition_system();
-            let report = sweep(&ts, configs, stop_after);
+            let mut session = b.session();
+            let report = session.sweep(configs, stop_after);
             // Soundness cross-check against the ground truth.
             if report.proved() {
                 assert_ne!(
@@ -89,17 +94,22 @@ pub fn run_baseline(suite: &[Benchmark], prover: &dyn BaselineProver) -> Vec<Bas
                 }
             };
             if verdict == BaselineVerdict::NonTerminating {
-                assert_ne!(b.expected, Expected::Terminating, "baseline soundness violation on {}", b.name);
+                assert_ne!(
+                    b.expected,
+                    Expected::Terminating,
+                    "baseline soundness violation on {}",
+                    b.name
+                );
             }
             if verdict == BaselineVerdict::Terminating {
-                assert_ne!(b.expected, Expected::NonTerminating, "baseline soundness violation on {}", b.name);
+                assert_ne!(
+                    b.expected,
+                    Expected::NonTerminating,
+                    "baseline soundness violation on {}",
+                    b.name
+                );
             }
-            BaselineRun {
-                name: b.name.to_string(),
-                expected: b.expected,
-                verdict,
-                elapsed,
-            }
+            BaselineRun { name: b.name.to_string(), expected: b.expected, verdict, elapsed }
         })
         .collect()
 }
@@ -147,10 +157,7 @@ pub fn revterm_column(runs: &[RevTermRun], no_sets: &[Vec<String>]) -> ToolColum
         .collect();
     let (avg, std) = mean_std(&times);
     let mine: Vec<String> = proved.iter().map(|r| r.name.clone()).collect();
-    let unique = mine
-        .iter()
-        .filter(|n| !no_sets.iter().any(|other| other.contains(n)))
-        .count();
+    let unique = mine.iter().filter(|n| !no_sets.iter().any(|other| other.contains(n))).count();
     ToolColumn {
         tool: "RevTerm".to_string(),
         no: proved.len(),
@@ -166,7 +173,8 @@ pub fn revterm_column(runs: &[RevTermRun], no_sets: &[Vec<String>]) -> ToolColum
 
 /// Builds a [`ToolColumn`] for a baseline tool.
 pub fn baseline_column(tool: &str, runs: &[BaselineRun], no_sets: &[Vec<String>]) -> ToolColumn {
-    let no: Vec<&BaselineRun> = runs.iter().filter(|r| r.verdict == BaselineVerdict::NonTerminating).collect();
+    let no: Vec<&BaselineRun> =
+        runs.iter().filter(|r| r.verdict == BaselineVerdict::NonTerminating).collect();
     let yes = runs.iter().filter(|r| r.verdict == BaselineVerdict::Terminating).count();
     let solved_times: Vec<f64> = runs
         .iter()
@@ -177,10 +185,7 @@ pub fn baseline_column(tool: &str, runs: &[BaselineRun], no_sets: &[Vec<String>]
     let (avg, std) = mean_std(&solved_times);
     let (avg_no, std_no) = mean_std(&no_times);
     let mine: Vec<String> = no.iter().map(|r| r.name.clone()).collect();
-    let unique = mine
-        .iter()
-        .filter(|n| !no_sets.iter().any(|other| other.contains(n)))
-        .count();
+    let unique = mine.iter().filter(|n| !no_sets.iter().any(|other| other.contains(n))).count();
     ToolColumn {
         tool: tool.to_string(),
         no: no.len(),
@@ -243,12 +248,13 @@ pub fn table_sweep_configs() -> Vec<ProverConfig> {
     for &check in &[CheckKind::Check1, CheckKind::Check2] {
         for &strategy in &[Strategy::Houdini, Strategy::GuardPropagation] {
             for &(c, d, deg) in &[(1usize, 1usize, 1u32), (2, 1, 1), (3, 2, 2)] {
-                configs.push(ProverConfig {
-                    check,
-                    strategy,
-                    params: TemplateParams::new(c, d, deg),
-                    ..ProverConfig::default()
-                });
+                configs.push(
+                    ProverConfig::builder()
+                        .check(check)
+                        .strategy(strategy)
+                        .params(TemplateParams::new(c, d, deg))
+                        .build(),
+                );
             }
         }
     }

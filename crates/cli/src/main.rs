@@ -8,27 +8,44 @@
 //! ```
 //!
 //! Options: `--check1` / `--check2` (default: try both), `--show-ts` prints
-//! the transition system and its reversal before proving.
+//! the transition system and its reversal before proving, `--stats` prints
+//! the per-run statistics of the prover session.
 
-use revterm::{prove_with_configs, quick_sweep, CheckKind, ProverConfig};
+use revterm::{CheckKind, ProofResult, ProverConfig, ProverSession};
 use revterm_lang::parse_program;
 use revterm_ts::{lower, Assertion};
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: revterm [--check1|--check2] [--show-ts] (<file> | --source <program> | --suite | --list)"
-    );
+const USAGE: &str =
+    "usage: revterm [--check1|--check2] [--show-ts] [--stats] (<file> | --source <program> | --suite | --list)";
+
+/// Bad invocation: usage goes to stderr and the exit code signals an error.
+fn usage_error() -> ExitCode {
+    eprintln!("{USAGE}");
     ExitCode::from(2)
+}
+
+fn print_stats(result: &ProofResult) {
+    let s = &result.stats;
+    println!(
+        "stats: {} candidates, {} synthesis calls, {} entailment calls ({} cached), {} artifact / {} probe cache hits",
+        s.candidates_tried,
+        s.synthesis_calls,
+        s.entailment_calls,
+        s.entailment_cache_hits,
+        s.artifact_cache_hits,
+        s.probe_cache_hits,
+    );
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        return usage();
+        return usage_error();
     }
     let mut check: Option<CheckKind> = None;
     let mut show_ts = false;
+    let mut show_stats = false;
     let mut source: Option<String> = None;
     let mut run_suite = false;
     let mut list = false;
@@ -38,13 +55,18 @@ fn main() -> ExitCode {
             "--check1" => check = Some(CheckKind::Check1),
             "--check2" => check = Some(CheckKind::Check2),
             "--show-ts" => show_ts = true,
+            "--stats" => show_stats = true,
             "--suite" => run_suite = true,
             "--list" => list = true,
             "--source" => match iter.next() {
                 Some(src) => source = Some(src),
-                None => return usage(),
+                None => return usage_error(),
             },
-            "--help" | "-h" => return usage(),
+            // Asking for help is not an error: print usage to stdout, exit 0.
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
             path => match std::fs::read_to_string(path) {
                 Ok(text) => source = Some(text),
                 Err(e) => {
@@ -63,21 +85,25 @@ fn main() -> ExitCode {
     }
 
     let configs: Vec<ProverConfig> = match check {
-        Some(kind) => vec![ProverConfig::with_check(kind)],
-        None => quick_sweep(),
+        Some(kind) => vec![ProverConfig::builder().check(kind).build()],
+        None => revterm::quick_sweep(),
     };
 
     if run_suite {
         let mut proved = 0;
         let suite = revterm_suite::full_suite();
         for b in &suite {
-            let ts = b.transition_system();
-            let result = prove_with_configs(&ts, &configs);
-            let verdict = if result.is_non_terminating() { "NO (non-terminating)" } else { "MAYBE" };
+            let mut session = b.session();
+            let result = session.prove_first(&configs);
+            let verdict =
+                if result.is_non_terminating() { "NO (non-terminating)" } else { "MAYBE" };
             println!(
                 "{:<28} {:<22} [{:?} expected] in {:.2?}",
                 b.name, verdict, b.expected, result.elapsed
             );
+            if show_stats {
+                print_stats(&result);
+            }
             if result.is_non_terminating() {
                 proved += 1;
             }
@@ -86,7 +112,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let Some(src) = source else { return usage() };
+    let Some(src) = source else { return usage_error() };
     let program = match parse_program(&src) {
         Ok(p) => p,
         Err(e) => {
@@ -108,14 +134,18 @@ fn main() -> ExitCode {
             ts.reverse(Assertion::tautology()).display()
         );
     }
-    let result = prove_with_configs(&ts, &configs);
+    let mut session = ProverSession::new(ts);
+    let result = session.prove_first(&configs);
+    if show_stats {
+        print_stats(&result);
+    }
     match result.certificate() {
         Some(cert) => {
             println!(
                 "NO (non-terminating), proved by {} in {:.2?}",
                 result.config_label, result.elapsed
             );
-            println!("{}", cert.summary(&ts));
+            println!("{}", cert.summary(session.ts()));
             ExitCode::SUCCESS
         }
         None => {

@@ -161,9 +161,7 @@ fn validate_check1(
     let restricted = ts.restrict(&cert.resolution);
     // (1) I(ℓ_out) must be empty.
     if !cert.invariant.at(restricted.terminal_loc()).is_empty() {
-        return Err(CertificateError::NotInductive(
-            "I(ℓ_out) must be the empty predicate".into(),
-        ));
+        return Err(CertificateError::NotInductive("I(ℓ_out) must be the empty predicate".into()));
     }
     // (2) I must be inductive for the restricted system, where transitions
     //     into ℓ_out are blocked: their premises must be unsatisfiable.
@@ -187,10 +185,7 @@ fn validate_check1(
     }
     // (3) The initial valuation satisfies Θ_init and lies in I(ℓ_init).
     if !is_initial_valuation(ts, &cert.initial)
-        || !cert
-            .invariant
-            .at(ts.init_loc())
-            .holds_int(&cert.initial.assignment())
+        || !cert.invariant.at(ts.init_loc()).holds_int(&cert.initial.assignment())
     {
         return Err(CertificateError::BadInitialValuation);
     }
@@ -215,11 +210,8 @@ fn validate_check2(
     if let Err(v) = is_inductive(&reversed, &cert.backward_invariant, opts, &[]) {
         return Err(CertificateError::BackwardNotInvariant(v.to_string()));
     }
-    if !predicate_entails(
-        cert.theta.atoms(),
-        cert.backward_invariant.at(reversed.init_loc()),
-        opts,
-    ) {
+    if !predicate_entails(cert.theta.atoms(), cert.backward_invariant.at(reversed.init_loc()), opts)
+    {
         return Err(CertificateError::BackwardNotInvariant(
             "Θ is not contained in BI(ℓ_out)".into(),
         ));
@@ -249,11 +241,7 @@ fn validate_check2(
         }
     }
     let last = path.last().expect("non-empty path");
-    if cert
-        .backward_invariant
-        .at(last.loc)
-        .holds_int(&last.vals.assignment())
-    {
+    if cert.backward_invariant.at(last.loc).holds_int(&last.vals.assignment()) {
         return Err(CertificateError::BadWitnessPath(
             "the final configuration is contained in BI, not in its complement".into(),
         ));
@@ -285,21 +273,14 @@ mod tests {
                 );
             }
         }
-        Check1Certificate {
-            resolution,
-            invariant,
-            initial: Valuation::from_i64s(&[9, 0]),
-        }
+        Check1Certificate { resolution, invariant, initial: Valuation::from_i64s(&[9, 0]) }
     }
 
     #[test]
     fn handwritten_example_54_certificate_validates() {
         let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
         let cert = NonTerminationCertificate::Check1(example_54_certificate(&ts));
-        assert_eq!(
-            validate_certificate(&ts, &cert, &EntailmentOptions::default()),
-            Ok(())
-        );
+        assert_eq!(validate_certificate(&ts, &cert, &EntailmentOptions::default()), Ok(()));
         assert_eq!(cert.check_kind(), CheckKind::Check1);
         assert!(cert.summary(&ts).contains("Check 1"));
     }

@@ -7,10 +7,10 @@
 
 use crate::certificate::{Check1Certificate, NonTerminationCertificate};
 use crate::config::{ProverConfig, Strategy};
-use revterm_invgen::{synthesize_invariant, SampleSet, SynthesisOptions, TemplateParams};
+use crate::session::{memo, Caches, ProveStats, RestrictedEntry};
+use revterm_invgen::{synthesize_invariant_cached, SampleSet, SynthesisOptions, TemplateParams};
 use revterm_poly::Poly;
 use revterm_safety::{find_initial_valuations, ndet_candidate_values};
-use revterm_solver::implies_false;
 use revterm_ts::interp::{run, Config, Valuation};
 use revterm_ts::{Resolution, TransitionSystem};
 
@@ -19,7 +19,10 @@ use revterm_ts::{Resolution, TransitionSystem};
 /// transitions.  Candidate right-hand sides are constants drawn from the
 /// program constants plus, for degree ≥ 1, copies of program variables and
 /// `±1` offsets of them.
-pub(crate) fn candidate_resolutions(ts: &TransitionSystem, config: &ProverConfig) -> Vec<Resolution> {
+pub(crate) fn candidate_resolutions(
+    ts: &TransitionSystem,
+    config: &ProverConfig,
+) -> Vec<Resolution> {
     let ndet_ids: Vec<usize> = ts.ndet_transitions().map(|t| t.id).collect();
     if ndet_ids.is_empty() {
         return vec![Resolution::empty()];
@@ -69,7 +72,11 @@ pub(crate) fn candidate_resolutions(ts: &TransitionSystem, config: &ProverConfig
 }
 
 /// Strategy-dependent synthesis options.
-pub(crate) fn synthesis_options(config: &ProverConfig, forced_false: Option<revterm_ts::Loc>, require_initiation: bool) -> SynthesisOptions {
+pub(crate) fn synthesis_options(
+    config: &ProverConfig,
+    forced_false: Option<revterm_ts::Loc>,
+    require_initiation: bool,
+) -> SynthesisOptions {
     let params = match config.strategy {
         Strategy::Houdini => config.params,
         // The guard-propagation strategy restricts the pool to interval atoms
@@ -89,27 +96,66 @@ pub(crate) fn synthesis_options(config: &ProverConfig, forced_false: Option<revt
 
 /// Runs Check 1 on a transition system.
 ///
-/// Returns a validated-by-construction certificate on success; the caller is
-/// expected to re-validate it with
-/// [`crate::validate_certificate`] (the [`crate::prove`] entry point does).
+/// One-shot wrapper around [`check1_cached`] with empty caches; prefer a
+/// [`crate::ProverSession`] when running more than one configuration.  The
+/// caller is expected to re-validate the returned certificate with
+/// [`crate::validate_certificate`] (the session and [`crate::prove`] entry
+/// points do).
 pub fn check1(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
-    let initials = preferred_initials(ts, config);
+    check1_cached(ts, config, &mut Caches::default(), &mut ProveStats::default())
+}
+
+/// Check 1 with every derived artifact served from (and recorded into) the
+/// session caches: candidate resolutions and preferred initial valuations
+/// per search bounds, restricted systems and their atom pools per
+/// resolution, divergence-probe traces per `(resolution, initial)` pair, and
+/// memoized entailment queries.
+pub(crate) fn check1_cached(
+    ts: &TransitionSystem,
+    config: &ProverConfig,
+    caches: &mut Caches,
+    stats: &mut ProveStats,
+) -> Option<NonTerminationCertificate> {
+    let initials = caches.initials_for(ts, config, stats);
     if initials.is_empty() {
         return None;
     }
+    let resolutions = caches.resolutions_for(ts, config, stats);
+    let Caches { entail, restricted, .. } = caches;
     let mut synthesis_budget = 8usize;
-    for resolution in candidate_resolutions(ts, config) {
-        let restricted = ts.restrict(&resolution);
+    for resolution in resolutions {
+        let entry = memo(
+            restricted,
+            resolution.clone(),
+            &mut stats.artifact_cache_hits,
+            &mut stats.artifact_cache_misses,
+            || RestrictedEntry::new(ts.restrict(&resolution)),
+        );
+        let RestrictedEntry { system: restricted_system, pool, probes, invariants, .. } = entry;
+        let restricted_system = &*restricted_system;
         for initial in initials.iter().take(config.max_initial_configs) {
+            stats.candidates_tried += 1;
             // Cheap probe: run the (deterministic) restricted system; if it
             // reaches ℓ_out within the probe bound this initial configuration
             // is not diverging under this resolution.
-            let start = Config::new(restricted.init_loc(), initial.clone());
-            let trace = run(&restricted, &start, &|_, _| revterm_num::Int::zero(), config.divergence_probe_steps);
-            let reached_terminal = trace
-                .last()
-                .map(|c| c.loc == restricted.terminal_loc())
-                .unwrap_or(false);
+            let probe_key = (initial.clone(), config.divergence_probe_steps);
+            let trace = memo(
+                probes,
+                probe_key,
+                &mut stats.probe_cache_hits,
+                &mut stats.probe_cache_misses,
+                || {
+                    let start = Config::new(restricted_system.init_loc(), initial.clone());
+                    run(
+                        restricted_system,
+                        &start,
+                        &|_, _| revterm_num::Int::zero(),
+                        config.divergence_probe_steps,
+                    )
+                },
+            );
+            let reached_terminal =
+                trace.last().map(|c| c.loc == restricted_system.terminal_loc()).unwrap_or(false);
             if reached_terminal || trace.len() <= config.divergence_probe_steps / 2 {
                 continue;
             }
@@ -118,24 +164,42 @@ pub fn check1(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTermina
             }
             synthesis_budget -= 1;
 
-            // Samples: everything the probe visited belongs to the set the
-            // invariant must contain.
-            let mut samples = SampleSet::new();
-            for cfg in &trace {
-                samples.add(cfg.loc, cfg.vals.clone());
-            }
-            let options = synthesis_options(config, Some(restricted.terminal_loc()), false);
-            let invariant = synthesize_invariant(&restricted, &samples, &options);
+            let options = synthesis_options(config, Some(restricted_system.terminal_loc()), false);
+            // The synthesized invariant is a pure function of the restricted
+            // system, the probe trace (which seeds the samples) and the
+            // synthesis inputs — all captured by this key — so it can be
+            // shared across configurations that agree on them.
+            let synth_key = (
+                (initial.clone(), config.divergence_probe_steps),
+                (options.params, options.entailment.clone()),
+            );
+            let invariant = memo(
+                invariants,
+                synth_key,
+                &mut stats.artifact_cache_hits,
+                &mut stats.artifact_cache_misses,
+                || {
+                    // Samples: everything the probe visited belongs to the
+                    // set the invariant must contain.
+                    let mut samples = SampleSet::new();
+                    for cfg in trace.iter() {
+                        samples.add(cfg.loc, cfg.vals.clone());
+                    }
+                    stats.synthesis_calls += 1;
+                    synthesize_invariant_cached(restricted_system, &samples, &options, pool, entail)
+                },
+            )
+            .clone();
 
             // Success condition: every transition into ℓ_out is blocked.
-            let blocked = restricted
-                .transitions_to(restricted.terminal_loc())
-                .filter(|t| t.source != restricted.terminal_loc())
+            let blocked = restricted_system
+                .transitions_to(restricted_system.terminal_loc())
+                .filter(|t| t.source != restricted_system.terminal_loc())
                 .all(|t| {
                     invariant.at(t.source).disjuncts().iter().all(|d| {
                         let mut premises: Vec<Poly> = d.atoms().to_vec();
                         premises.extend(t.relation.atoms().iter().cloned());
-                        implies_false(&premises, &config.entailment)
+                        entail.implies_false(&premises, &config.entailment)
                     })
                 });
             if !blocked {
@@ -143,7 +207,7 @@ pub fn check1(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTermina
             }
             // The initial valuation is in I(ℓ_init) by sample construction,
             // but double-check before emitting the certificate.
-            if !invariant.at(restricted.init_loc()).holds_int(&initial.assignment()) {
+            if !invariant.at(restricted_system.init_loc()).holds_int(&initial.assignment()) {
                 continue;
             }
             return Some(NonTerminationCertificate::Check1(Check1Certificate {

@@ -12,56 +12,127 @@
 //! solver-guidance heuristic; the reachability check subsumes it.
 
 use crate::certificate::{Check2Certificate, NonTerminationCertificate};
-use crate::check1::{candidate_resolutions, synthesis_options};
+use crate::check1::synthesis_options;
 use crate::config::ProverConfig;
-use revterm_invgen::{synthesize_invariant, SampleSet};
+use crate::session::{
+    memo, reversed_entry_for, Caches, ProveStats, RestrictedEntry, ReversedEntry,
+};
+use revterm_invgen::{synthesize_invariant_cached, SampleSet};
 use revterm_safety::{find_path_to, reachable_samples};
 use revterm_ts::interp::{run, Config};
 use revterm_ts::{Assertion, TransitionSystem};
 
 /// Runs Check 2 on a transition system.
+///
+/// One-shot wrapper around [`check2_cached`] with empty caches; prefer a
+/// [`crate::ProverSession`] when running more than one configuration.
 pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
+    check2_cached(ts, config, &mut Caches::default(), &mut ProveStats::default())
+}
+
+/// Check 2 with every derived artifact served from (and recorded into) the
+/// session caches: the reachable forward samples per search bounds, the
+/// `(Ĩ, Θ)` pair per effective synthesis inputs, restricted and reversed
+/// systems (with their atom pools) per resolution, backward-probe sample
+/// sets, and memoized entailment queries.
+pub(crate) fn check2_cached(
+    ts: &TransitionSystem,
+    config: &ProverConfig,
+    caches: &mut Caches,
+    stats: &mut ProveStats,
+) -> Option<NonTerminationCertificate> {
+    let resolutions = caches.resolutions_for(ts, config, stats);
+    let Caches { entail, base_pool, forward_samples, tilde, restricted, .. } = caches;
+
     // Step 1: a conjunctive invariant Ĩ of the full system, seeded with
     // concretely reachable samples.
-    let forward_samples = reachable_samples(ts, &config.search);
-    let mut sample_set = SampleSet::new();
-    for cfg in &forward_samples {
-        sample_set.add(cfg.loc, cfg.vals.clone());
-    }
+    let fwd = memo(
+        forward_samples,
+        config.search.clone(),
+        &mut stats.artifact_cache_hits,
+        &mut stats.artifact_cache_misses,
+        || reachable_samples(ts, &config.search),
+    );
+
     let tilde_options = synthesis_options(config, None, true);
-    let tilde = synthesize_invariant(ts, &sample_set, &tilde_options);
-    let theta: Assertion = match tilde.at(ts.terminal_loc()).disjuncts() {
-        [single] => single.clone(),
-        _ => Assertion::tautology(),
-    };
+    let tilde_key = (tilde_options.params, config.entailment.clone(), config.search.clone());
+    let (tilde_map, theta) = memo(
+        tilde,
+        tilde_key,
+        &mut stats.artifact_cache_hits,
+        &mut stats.artifact_cache_misses,
+        || {
+            let mut sample_set = SampleSet::new();
+            for cfg in fwd.iter() {
+                sample_set.add(cfg.loc, cfg.vals.clone());
+            }
+            stats.synthesis_calls += 1;
+            let map =
+                synthesize_invariant_cached(ts, &sample_set, &tilde_options, base_pool, entail);
+            let theta: Assertion = match map.at(ts.terminal_loc()).disjuncts() {
+                [single] => single.clone(),
+                _ => Assertion::tautology(),
+            };
+            (map, theta)
+        },
+    )
+    .clone();
 
     // Step 2: per candidate resolution, synthesize a backward invariant of
     // the reversed restricted system and query reachability of its complement.
     let mut synthesis_budget = 4usize;
-    for resolution in candidate_resolutions(ts, config) {
+    for resolution in resolutions {
         if synthesis_budget == 0 {
             break;
         }
-        let restricted = ts.restrict(&resolution);
-        let reversed = restricted.reverse(theta.clone());
+        stats.candidates_tried += 1;
+        let entry = memo(
+            restricted,
+            resolution.clone(),
+            &mut stats.artifact_cache_hits,
+            &mut stats.artifact_cache_misses,
+            || RestrictedEntry::new(ts.restrict(&resolution)),
+        );
+        let RestrictedEntry { system: restricted_system, backward, reversed, .. } = entry;
+        let restricted_system = &*restricted_system;
 
         // Backward samples: configurations from which ℓ_out is reachable in
         // the restricted system.  We probe forward from the concretely
         // reachable configurations of T; every configuration on a probe run
         // that reaches ℓ_out is backward-reachable from ℓ_out in the reversed
         // system and must therefore be contained in BI.
-        let mut backward_samples = SampleSet::new();
-        let mut any_terminating_probe = false;
-        for cfg in forward_samples.iter().take(400) {
-            let start = Config::new(cfg.loc, cfg.vals.clone());
-            let trace = run(&restricted, &start, &|_, _| revterm_num::Int::zero(), config.divergence_probe_steps);
-            if trace.last().map(|c| c.loc == restricted.terminal_loc()).unwrap_or(false) {
-                any_terminating_probe = true;
-                for visited in trace {
-                    backward_samples.add(visited.loc, visited.vals);
+        let backward_key = (config.search.clone(), config.divergence_probe_steps);
+        let (any_terminating_probe, backward_samples) = &*memo(
+            backward,
+            backward_key,
+            &mut stats.probe_cache_hits,
+            &mut stats.probe_cache_misses,
+            || {
+                let mut samples = SampleSet::new();
+                let mut any_terminating = false;
+                for cfg in fwd.iter().take(400) {
+                    let start = Config::new(cfg.loc, cfg.vals.clone());
+                    let trace = run(
+                        restricted_system,
+                        &start,
+                        &|_, _| revterm_num::Int::zero(),
+                        config.divergence_probe_steps,
+                    );
+                    if trace
+                        .last()
+                        .map(|c| c.loc == restricted_system.terminal_loc())
+                        .unwrap_or(false)
+                    {
+                        any_terminating = true;
+                        for visited in trace {
+                            samples.add(visited.loc, visited.vals);
+                        }
+                    }
                 }
-            }
-        }
+                (any_terminating, samples)
+            },
+        );
+        let any_terminating_probe = *any_terminating_probe;
         if !any_terminating_probe {
             // Nothing reaches ℓ_out under this resolution within the probe
             // bounds; Check 1 is the natural route for such resolutions.
@@ -69,8 +140,38 @@ pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTermina
         }
         synthesis_budget -= 1;
 
+        let (reversed, reversed_hit) = reversed_entry_for(reversed, restricted_system, &theta);
+        if reversed_hit {
+            stats.artifact_cache_hits += 1;
+        } else {
+            stats.artifact_cache_misses += 1;
+        }
+        let ReversedEntry { system: reversed_system, pool: reversed_pool, invariants } = reversed;
         let bi_options = synthesis_options(config, None, true);
-        let bi = synthesize_invariant(&reversed, &backward_samples, &bi_options);
+        // `BI` is a pure function of the reversed system, the backward
+        // samples (determined by the search bounds and probe steps) and the
+        // synthesis inputs, so it can be shared across configurations.
+        let synth_key = (
+            (config.search.clone(), config.divergence_probe_steps),
+            (bi_options.params, bi_options.entailment.clone()),
+        );
+        let bi = memo(
+            invariants,
+            synth_key,
+            &mut stats.artifact_cache_hits,
+            &mut stats.artifact_cache_misses,
+            || {
+                stats.synthesis_calls += 1;
+                synthesize_invariant_cached(
+                    &*reversed_system,
+                    backward_samples,
+                    &bi_options,
+                    reversed_pool,
+                    entail,
+                )
+            },
+        )
+        .clone();
 
         // Step 3: the safety query — is some configuration of ¬BI reachable
         // in the original system?
@@ -78,7 +179,7 @@ pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTermina
         if let Some(path) = find_path_to(ts, &complement, &config.search) {
             return Some(NonTerminationCertificate::Check2(Check2Certificate {
                 resolution,
-                tilde_invariant: tilde,
+                tilde_invariant: tilde_map,
                 theta,
                 backward_invariant: bi,
                 witness_path: path,

@@ -101,6 +101,25 @@ impl ProverConfig {
         ProverConfig { check, ..ProverConfig::default() }
     }
 
+    /// Starts building a configuration from the defaults.
+    ///
+    /// Preferred over struct-literal construction (`ProverConfig { .. }`):
+    /// the builder keeps call sites stable as configuration fields are added.
+    ///
+    /// ```
+    /// use revterm::{CheckKind, ProverConfig, Strategy};
+    ///
+    /// let config = ProverConfig::builder()
+    ///     .check(CheckKind::Check2)
+    ///     .strategy(Strategy::GuardPropagation)
+    ///     .template(3, 1, 1)
+    ///     .build();
+    /// assert_eq!(config.label(), "check2/guard-prop/(c=3,d=1,D=1)");
+    /// ```
+    pub fn builder() -> ProverConfigBuilder {
+        ProverConfigBuilder::new()
+    }
+
     /// Human-readable label, e.g. `check1/houdini/(c=2,d=1,D=1)`.
     pub fn label(&self) -> String {
         format!(
@@ -117,9 +136,114 @@ impl ProverConfig {
     }
 }
 
+/// Builder for [`ProverConfig`], replacing struct-literal construction as the
+/// public way to assemble configurations (see [`ProverConfig::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct ProverConfigBuilder {
+    config: ProverConfig,
+}
+
+impl ProverConfigBuilder {
+    /// Starts from [`ProverConfig::default`].
+    pub fn new() -> ProverConfigBuilder {
+        ProverConfigBuilder { config: ProverConfig::default() }
+    }
+
+    /// Which check to run.
+    pub fn check(mut self, check: CheckKind) -> Self {
+        self.config.check = check;
+        self
+    }
+
+    /// Synthesis strategy (the "SMT solver" axis).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Template parameters for predicate maps.
+    pub fn params(mut self, params: TemplateParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Template parameters given directly as `(c, d, D)`.
+    pub fn template(self, c: usize, d: usize, degree: u32) -> Self {
+        self.params(TemplateParams::new(c, d, degree))
+    }
+
+    /// Maximal degree of the polynomials used to resolve non-determinism.
+    pub fn resolution_degree(mut self, degree: u32) -> Self {
+        self.config.resolution_degree = degree;
+        self
+    }
+
+    /// Bounds for the explicit-state searches.
+    pub fn search(mut self, search: SearchBounds) -> Self {
+        self.config.search = search;
+        self
+    }
+
+    /// Entailment budget.
+    pub fn entailment(mut self, entailment: EntailmentOptions) -> Self {
+        self.config.entailment = entailment;
+        self
+    }
+
+    /// Maximal number of candidate resolutions of non-determinism tried.
+    pub fn max_resolutions(mut self, max: usize) -> Self {
+        self.config.max_resolutions = max;
+        self
+    }
+
+    /// Maximal number of candidate initial configurations tried per
+    /// resolution (Check 1).
+    pub fn max_initial_configs(mut self, max: usize) -> Self {
+        self.config.max_initial_configs = max;
+        self
+    }
+
+    /// Number of interpreter steps used to classify a run as "apparently
+    /// diverging".
+    pub fn divergence_probe_steps(mut self, steps: usize) -> Self {
+        self.config.divergence_probe_steps = steps;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ProverConfig {
+        self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_mirrors_struct_literal_construction() {
+        let built = ProverConfig::builder()
+            .check(CheckKind::Check2)
+            .strategy(Strategy::GuardPropagation)
+            .template(3, 2, 2)
+            .resolution_degree(2)
+            .max_resolutions(10)
+            .max_initial_configs(4)
+            .divergence_probe_steps(80)
+            .build();
+        assert_eq!(built.check, CheckKind::Check2);
+        assert_eq!(built.strategy, Strategy::GuardPropagation);
+        assert_eq!(built.params, TemplateParams::new(3, 2, 2));
+        assert_eq!(built.resolution_degree, 2);
+        assert_eq!(built.max_resolutions, 10);
+        assert_eq!(built.max_initial_configs, 4);
+        assert_eq!(built.divergence_probe_steps, 80);
+        // Untouched fields keep their defaults.
+        let default = ProverConfig::default();
+        assert_eq!(built.search, default.search);
+        assert_eq!(built.entailment, default.entailment);
+        assert_eq!(ProverConfigBuilder::new().build().label(), default.label());
+    }
 
     #[test]
     fn labels_and_defaults() {

@@ -11,26 +11,66 @@
 //! * [`revterm_solver`] — the exact Farkas/Handelman entailment oracle,
 //! * [`revterm_safety`] — the bounded safety (reachability) prover.
 //!
-//! # Quick start
+//! # Quick start: sessions
+//!
+//! The primary entry point is a [`ProverSession`]: it owns one transition
+//! system together with memoized derived artifacts (restricted and reversed
+//! systems, candidate atom pools, interpreter probe traces, entailment memo
+//! tables), so running many configurations — the paper's Section 6 protocol
+//! sweeps the whole check × strategy × template grid per benchmark — pays
+//! for shared work once.  Configurations are assembled with
+//! [`ProverConfig::builder`].
 //!
 //! ```
-//! use revterm::{prove, ProverConfig};
+//! use revterm::{CheckKind, ProverConfig, ProverSession};
 //! use revterm_lang::parse_program;
-//! use revterm_ts::lower;
 //!
 //! // The paper's running example (Fig. 1).
 //! let program = parse_program(
 //!     "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od",
 //! ).unwrap();
-//! let ts = lower(&program).unwrap();
-//! let verdict = prove(&ts, &ProverConfig::default());
-//! assert!(verdict.is_non_terminating());
+//! let mut session = ProverSession::from_program(&program).unwrap();
+//!
+//! // A single configuration...
+//! let result = session.prove(&ProverConfig::default());
+//! assert!(result.is_non_terminating());
+//!
+//! // ...and a second one on the warm session: identical verdicts to a fresh
+//! // run, but shared artifacts (probes, pools, entailment queries) are
+//! // served from the session caches, as the statistics show.
+//! let config = ProverConfig::builder().check(CheckKind::Check1).template(3, 1, 1).build();
+//! let warm = session.prove(&config);
+//! assert!(warm.is_non_terminating());
+//! assert!(warm.stats.total_cache_hits() > 0);
 //! ```
+//!
+//! Sweeps run through the same session ([`ProverSession::sweep`]), and
+//! [`ProofResult`] / [`ConfigOutcome`] carry structured per-stage statistics
+//! ([`ProveStats`]): candidates tried, synthesis and entailment calls, cache
+//! hits.
+//!
+//! # Migration from the free-function entry points
+//!
+//! The pre-session API survives as thin wrappers that open a one-shot
+//! session, with identical verdicts:
+//!
+//! * `prove(&ts, &config)` → [`ProverSession::new`]`(ts).prove(&config)`;
+//! * `prove_with_configs(&ts, &configs)` →
+//!   [`ProverSession::prove_first`] (an **empty** config slice now reports
+//!   the documented [`NO_CONFIGS_LABEL`] instead of the ambiguous `"none"`);
+//! * `sweep(&ts, &configs, stop)` → [`ProverSession::sweep`];
+//! * `ProverConfig { check, .. }` struct literals → [`ProverConfig::builder`].
+//!
+//! The wrappers are kept for downstream code and scripts, but new code
+//! should hold a session: on the degree-1 configuration grid the sessioned
+//! sweep has measured several-fold faster than fresh per-configuration calls
+//! (see the `session_vs_fresh` harness in `revterm-bench`).
 //!
 //! Every `NonTerminating` verdict carries a [`NonTerminationCertificate`]
 //! that has already been re-validated by an independent exact checker
 //! ([`validate_certificate`]); the prover never reports non-termination on
-//! the basis of an unchecked synthesis result.
+//! the basis of an unchecked synthesis result.  Certificate validation never
+//! goes through the session caches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +80,7 @@ mod check1;
 mod check2;
 mod config;
 mod prover;
+mod session;
 mod sweep;
 
 pub use certificate::{
@@ -48,6 +89,7 @@ pub use certificate::{
 };
 pub use check1::check1;
 pub use check2::check2;
-pub use config::{CheckKind, ProverConfig, Strategy};
+pub use config::{CheckKind, ProverConfig, ProverConfigBuilder, Strategy};
 pub use prover::{prove, prove_program, prove_with_configs, ProofResult, Verdict};
-pub use sweep::{default_sweep, quick_sweep, sweep, ConfigOutcome, SweepReport};
+pub use session::{ProveStats, ProverSession, SessionStats, NO_CONFIGS_LABEL};
+pub use sweep::{default_sweep, degree1_sweep, quick_sweep, sweep, ConfigOutcome, SweepReport};

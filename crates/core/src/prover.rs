@@ -1,9 +1,15 @@
 //! The top-level prover entry points.
+//!
+//! The free functions here ([`prove`], [`prove_with_configs`],
+//! [`crate::sweep`]) are retained for compatibility as thin wrappers that
+//! open a one-shot [`crate::ProverSession`]; new code should use a session
+//! directly so that derived artifacts are shared across configurations.
 
 use crate::certificate::{validate_certificate, NonTerminationCertificate};
-use crate::check1::check1;
-use crate::check2::check2;
+use crate::check1::check1_cached;
+use crate::check2::check2_cached;
 use crate::config::{CheckKind, ProverConfig};
+use crate::session::{Caches, ProveStats, ProverSession};
 use revterm_lang::Program;
 use revterm_ts::{lower, TransitionSystem};
 use std::time::{Duration, Instant};
@@ -19,7 +25,8 @@ pub enum Verdict {
     Unknown,
 }
 
-/// The result of a prover run: the verdict plus timing information.
+/// The result of a prover run: the verdict plus timing and per-stage
+/// statistics.
 #[derive(Debug, Clone)]
 pub struct ProofResult {
     /// The verdict.
@@ -28,6 +35,10 @@ pub struct ProofResult {
     pub elapsed: Duration,
     /// The configuration label that produced the verdict.
     pub config_label: String,
+    /// Structured per-stage statistics: candidates tried, synthesis and
+    /// entailment calls, cache hits (all zero deltas on a cold one-shot run
+    /// except the computation counters).
+    pub stats: ProveStats,
 }
 
 impl ProofResult {
@@ -45,17 +56,20 @@ impl ProofResult {
     }
 }
 
-/// Proves non-termination of a transition system with a single configuration.
-///
-/// A `NonTerminating` verdict is only returned after the certificate produced
-/// by the check has been independently re-validated; if validation fails
-/// (which would indicate a bug in the synthesis heuristics) the verdict is
-/// downgraded to `Unknown`.
-pub fn prove(ts: &TransitionSystem, config: &ProverConfig) -> ProofResult {
+/// Runs one configuration against the session caches, re-validating any
+/// candidate certificate with the independent (uncached) oracle before
+/// reporting non-termination.
+pub(crate) fn prove_cached(
+    ts: &TransitionSystem,
+    config: &ProverConfig,
+    caches: &mut Caches,
+) -> ProofResult {
     let start = Instant::now();
+    let mut stats = ProveStats::default();
+    let (lookups_before, hits_before) = (caches.entail.lookups, caches.entail.hits);
     let candidate = match config.check {
-        CheckKind::Check1 => check1(ts, config),
-        CheckKind::Check2 => check2(ts, config),
+        CheckKind::Check1 => check1_cached(ts, config, caches, &mut stats),
+        CheckKind::Check2 => check2_cached(ts, config, caches, &mut stats),
     };
     let verdict = match candidate {
         Some(cert) => match validate_certificate(ts, &cert, &config.entailment) {
@@ -64,32 +78,35 @@ pub fn prove(ts: &TransitionSystem, config: &ProverConfig) -> ProofResult {
         },
         None => Verdict::Unknown,
     };
-    ProofResult {
-        verdict,
-        elapsed: start.elapsed(),
-        config_label: config.label(),
-    }
+    stats.entailment_calls = caches.entail.lookups - lookups_before;
+    stats.entailment_cache_hits = caches.entail.hits - hits_before;
+    ProofResult { verdict, elapsed: start.elapsed(), config_label: config.label(), stats }
+}
+
+/// Proves non-termination of a transition system with a single configuration.
+///
+/// A `NonTerminating` verdict is only returned after the certificate produced
+/// by the check has been independently re-validated; if validation fails
+/// (which would indicate a bug in the synthesis heuristics) the verdict is
+/// downgraded to `Unknown`.
+///
+/// Deprecated-style wrapper: this is exactly one cold
+/// [`ProverSession::prove`] call.  Prefer opening a session when proving the
+/// same system more than once.
+pub fn prove(ts: &TransitionSystem, config: &ProverConfig) -> ProofResult {
+    prove_cached(ts, config, &mut Caches::default())
 }
 
 /// Proves non-termination of a transition system, trying several
 /// configurations in order and returning the first success (or `Unknown`
 /// with the cumulative time).
+///
+/// Deprecated-style wrapper over [`ProverSession::prove_first`] on a
+/// one-shot session; prefer the session API.  On an empty `configs` slice
+/// the result is `Unknown` with the documented
+/// [`crate::NO_CONFIGS_LABEL`] label.
 pub fn prove_with_configs(ts: &TransitionSystem, configs: &[ProverConfig]) -> ProofResult {
-    let start = Instant::now();
-    for config in configs {
-        let result = prove(ts, config);
-        if result.is_non_terminating() {
-            return ProofResult {
-                elapsed: start.elapsed(),
-                ..result
-            };
-        }
-    }
-    ProofResult {
-        verdict: Verdict::Unknown,
-        elapsed: start.elapsed(),
-        config_label: "none".to_string(),
-    }
+    ProverSession::new(ts.clone()).prove_first(configs)
 }
 
 /// Convenience entry point: lowers a program and proves it with the default
@@ -113,8 +130,7 @@ mod tests {
         "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
 
     /// Fig. 3 / Appendix C: every non-terminating execution is aperiodic.
-    const APERIODIC: &str =
-        "while x >= 1 do y := 10 * x; while x <= y do x := x + 1; od od";
+    const APERIODIC: &str = "while x >= 1 do y := 10 * x; while x <= y do x := x + 1; od od";
 
     /// A scaled-down version of Fig. 2 (bound 3 instead of 99): no initial
     /// configuration is diverging w.r.t. any constant resolution, but the
@@ -172,12 +188,9 @@ mod tests {
 
     #[test]
     fn guard_propagation_strategy_also_proves_easy_cases() {
-        let ts = revterm_ts::lower(&parse_program("while x >= 0 do x := x + 1; od").unwrap())
-            .unwrap();
-        let config = ProverConfig {
-            strategy: Strategy::GuardPropagation,
-            ..ProverConfig::default()
-        };
+        let ts =
+            revterm_ts::lower(&parse_program("while x >= 0 do x := x + 1; od").unwrap()).unwrap();
+        let config = ProverConfig::builder().strategy(Strategy::GuardPropagation).build();
         assert!(prove(&ts, &config).is_non_terminating());
     }
 
@@ -191,15 +204,26 @@ mod tests {
     }
 
     #[test]
+    fn prove_with_configs_on_empty_slice_reports_the_documented_label() {
+        // Regression: the empty sweep used to return `Unknown` silently with
+        // the same label as "ran and failed"; it now carries the documented
+        // sentinel label so callers can distinguish the two.
+        let ts = revterm_ts::lower(&parse_program("while true do skip; od").unwrap()).unwrap();
+        let result = prove_with_configs(&ts, &[]);
+        assert!(!result.is_non_terminating());
+        assert_eq!(result.config_label, crate::session::NO_CONFIGS_LABEL);
+        assert_eq!(result.stats, crate::session::ProveStats::default());
+    }
+
+    #[test]
     fn prove_with_configs_tries_until_success() {
         let ts = revterm_ts::lower(&parse_program(FIG2_SMALL).unwrap()).unwrap();
         let configs = vec![
             ProverConfig::default(),
-            ProverConfig {
-                check: CheckKind::Check2,
-                params: revterm_invgen::TemplateParams::new(3, 1, 1),
-                ..ProverConfig::default()
-            },
+            ProverConfig::builder()
+                .check(CheckKind::Check2)
+                .params(revterm_invgen::TemplateParams::new(3, 1, 1))
+                .build(),
         ];
         let result = prove_with_configs(&ts, &configs);
         assert!(result.is_non_terminating());

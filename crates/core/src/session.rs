@@ -1,0 +1,461 @@
+//! The session-centric prover API.
+//!
+//! The paper's evaluation protocol (Section 6) runs *every* configuration of
+//! the check × strategy × template grid on each benchmark.  Most of the work
+//! a single [`crate::prove`] call performs depends only on the transition
+//! system (or on a small projection of the configuration), not on the full
+//! configuration: candidate resolutions, initial valuations, restricted and
+//! reversed systems, divergence-probe interpreter traces, reachable sample
+//! sets, candidate atom pools and — dominating everything — the exact
+//! Farkas/Handelman entailment queries.  A [`ProverSession`] owns one
+//! transition system together with memo tables for all of those artifacts, so
+//! a configuration sweep pays for each artifact once instead of once per
+//! configuration.
+//!
+//! Every cache is a pure memo table: a sessioned run returns *bitwise
+//! identical* verdicts and certificates to fresh per-configuration runs, only
+//! faster.  Certificate validation is deliberately **not** routed through the
+//! session caches — a `NonTerminating` verdict is still re-checked by the
+//! independent, uncached oracle.
+
+use crate::config::ProverConfig;
+use crate::prover::{prove_cached, ProofResult};
+use crate::sweep::{ConfigOutcome, SweepReport};
+use revterm_invgen::{PoolCache, SampleSet};
+use revterm_lang::Program;
+use revterm_safety::SearchBounds;
+use revterm_solver::EntailmentCache;
+use revterm_ts::interp::{Config, Valuation};
+use revterm_ts::{lower, Assertion, PredicateMap, Resolution, TransitionSystem};
+use std::collections::HashMap;
+
+/// The label reported by [`ProverSession::prove_first`] (and the
+/// [`crate::prove_with_configs`] wrapper) when called with an **empty**
+/// configuration slice: no configuration ran, so the outcome is `Unknown`
+/// by definition, with this sentinel label instead of a configuration label.
+pub const NO_CONFIGS_LABEL: &str = "no-configs";
+
+/// Structured per-stage statistics of one `prove` call.
+///
+/// Counters are deltas for the single call, not session totals (see
+/// [`SessionStats`] for the running aggregate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProveStats {
+    /// Candidates examined: `(resolution, initial configuration)` pairs for
+    /// Check 1, candidate resolutions for Check 2.
+    pub candidates_tried: usize,
+    /// Invariant-synthesis (Houdini) invocations.
+    pub synthesis_calls: usize,
+    /// Entailment-oracle queries routed through the session memo (including
+    /// ones answered from it; certificate validation is deliberately
+    /// uncached and not counted here).
+    pub entailment_calls: u64,
+    /// Entailment queries answered from the session memo table.
+    pub entailment_cache_hits: u64,
+    /// Divergence-probe / backward-probe interpreter runs served from cache.
+    pub probe_cache_hits: u64,
+    /// Interpreter probe computations that had to run.
+    pub probe_cache_misses: u64,
+    /// Derived artifacts (resolution lists, initial valuations, restricted
+    /// and reversed systems, reachable samples, `Ĩ`/`Θ`) served from cache.
+    pub artifact_cache_hits: u64,
+    /// Derived artifacts that had to be computed.
+    pub artifact_cache_misses: u64,
+}
+
+impl ProveStats {
+    /// Adds another call's counters into this one.
+    pub fn accumulate(&mut self, other: &ProveStats) {
+        self.candidates_tried += other.candidates_tried;
+        self.synthesis_calls += other.synthesis_calls;
+        self.entailment_calls += other.entailment_calls;
+        self.entailment_cache_hits += other.entailment_cache_hits;
+        self.probe_cache_hits += other.probe_cache_hits;
+        self.probe_cache_misses += other.probe_cache_misses;
+        self.artifact_cache_hits += other.artifact_cache_hits;
+        self.artifact_cache_misses += other.artifact_cache_misses;
+    }
+
+    /// Total cache hits across all memo layers.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.entailment_cache_hits + self.probe_cache_hits + self.artifact_cache_hits
+    }
+}
+
+/// Aggregate statistics of a [`ProverSession`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Number of `prove` calls answered by the session.
+    pub proves: usize,
+    /// Counter totals across all calls.
+    pub aggregate: ProveStats,
+}
+
+/// Memo key for a synthesized invariant: every input that determines the
+/// Houdini result besides the transition system and the sample set (which
+/// are fixed by the cache the key lives in): the effective template
+/// parameters and the entailment budget.  `require_initiation`,
+/// `forced_false` and `max_iterations` are constant per call site.
+pub(crate) type SynthKey = (revterm_invgen::TemplateParams, revterm_solver::EntailmentOptions);
+
+/// A reversed restricted system `T^{r,Θ}_{R_NA}` with its atom-pool cache
+/// and memoized backward invariants.
+pub(crate) struct ReversedEntry {
+    pub system: TransitionSystem,
+    pub pool: PoolCache,
+    /// Check 2 backward invariants `BI` keyed by the backward-sample inputs
+    /// plus the synthesis inputs.
+    pub invariants: HashMap<((SearchBounds, usize), SynthKey), PredicateMap>,
+}
+
+/// A restricted system `T_{R_NA}` plus everything memoized per resolution.
+pub(crate) struct RestrictedEntry {
+    pub system: TransitionSystem,
+    pub pool: PoolCache,
+    /// Check 1 divergence probes: `(initial valuation, probe steps)` → trace.
+    pub probes: HashMap<(Valuation, usize), Vec<Config>>,
+    /// Check 1 invariants keyed by the probe that seeded the samples plus
+    /// the synthesis inputs.
+    pub invariants: HashMap<((Valuation, usize), SynthKey), PredicateMap>,
+    /// Check 2 backward samples: `(search bounds, probe steps)` →
+    /// `(any probe reached ℓ_out, samples on terminating probes)`.
+    pub backward: HashMap<(SearchBounds, usize), (bool, SampleSet)>,
+    /// Reversed systems keyed by `Θ` (few distinct values; linear scan).
+    pub reversed: Vec<(Assertion, ReversedEntry)>,
+}
+
+impl RestrictedEntry {
+    pub(crate) fn new(system: TransitionSystem) -> RestrictedEntry {
+        RestrictedEntry {
+            system,
+            pool: PoolCache::new(),
+            probes: HashMap::new(),
+            invariants: HashMap::new(),
+            backward: HashMap::new(),
+            reversed: Vec::new(),
+        }
+    }
+}
+
+/// Looks `key` up in `map`, computing and inserting the value on a miss,
+/// while bumping the given hit/miss counters — the shared shape of every
+/// per-session memo table.  Taking the counters as plain `&mut u64` (rather
+/// than `&mut ProveStats`) lets `compute` closures update *other* stats
+/// fields concurrently via disjoint field borrows.
+pub(crate) fn memo<'m, K: Eq + std::hash::Hash, V>(
+    map: &'m mut HashMap<K, V>,
+    key: K,
+    hits: &mut u64,
+    misses: &mut u64,
+    compute: impl FnOnce() -> V,
+) -> &'m mut V {
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            *hits += 1;
+            e.into_mut()
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            *misses += 1;
+            v.insert(compute())
+        }
+    }
+}
+
+/// The reversed system for `theta` in a [`RestrictedEntry`]'s `reversed`
+/// list, building and caching it on first use.  Returns the entry together
+/// with a hit flag.  Takes the fields separately (rather than `&mut
+/// RestrictedEntry`) so callers can keep disjoint borrows of the entry's
+/// other caches alive.
+pub(crate) fn reversed_entry_for<'a>(
+    reversed: &'a mut Vec<(Assertion, ReversedEntry)>,
+    restricted_system: &TransitionSystem,
+    theta: &Assertion,
+) -> (&'a mut ReversedEntry, bool) {
+    // Indexed (not iterator-based) lookup to satisfy the borrow checker.
+    let pos = reversed.iter().position(|(t, _)| t == theta);
+    match pos {
+        Some(i) => (&mut reversed[i].1, true),
+        None => {
+            let entry = ReversedEntry {
+                system: restricted_system.reverse(theta.clone()),
+                pool: PoolCache::new(),
+                invariants: HashMap::new(),
+            };
+            reversed.push((theta.clone(), entry));
+            (&mut reversed.last_mut().expect("just pushed").1, false)
+        }
+    }
+}
+
+/// All memo tables of a session.  `Default` gives the empty caches used by
+/// the one-shot free-function wrappers.
+#[derive(Default)]
+pub(crate) struct Caches {
+    /// Global entailment memo (keyed purely on polynomials, so it is shared
+    /// across the base, restricted and reversed systems).
+    pub entail: EntailmentCache,
+    /// Atom-pool artifacts of the base system (Check 2's `Ĩ` synthesis).
+    pub base_pool: PoolCache,
+    /// Candidate resolutions keyed by `(grid, resolution degree, cap)`.
+    pub resolutions: HashMap<(i64, u32, usize), Vec<Resolution>>,
+    /// Preferred initial valuations keyed by `(search bounds, cap)`.
+    pub initials: HashMap<(SearchBounds, usize), Vec<Valuation>>,
+    /// Concretely reachable configurations keyed by search bounds.
+    pub forward_samples: HashMap<SearchBounds, Vec<Config>>,
+    /// Check 2's `(Ĩ, Θ)` keyed by the synthesis inputs that determine them.
+    #[allow(clippy::type_complexity)]
+    pub tilde: HashMap<
+        (revterm_invgen::TemplateParams, revterm_solver::EntailmentOptions, SearchBounds),
+        (PredicateMap, Assertion),
+    >,
+    /// Restricted systems and their per-resolution artifacts.
+    pub restricted: HashMap<Resolution, RestrictedEntry>,
+}
+
+impl Caches {
+    /// The candidate resolutions for `config`, memoized.
+    pub(crate) fn resolutions_for(
+        &mut self,
+        ts: &TransitionSystem,
+        config: &ProverConfig,
+        stats: &mut ProveStats,
+    ) -> Vec<Resolution> {
+        let key = (config.search.grid, config.resolution_degree, config.max_resolutions);
+        memo(
+            &mut self.resolutions,
+            key,
+            &mut stats.artifact_cache_hits,
+            &mut stats.artifact_cache_misses,
+            || crate::check1::candidate_resolutions(ts, config),
+        )
+        .clone()
+    }
+
+    /// The preferred initial valuations for `config`, memoized.
+    pub(crate) fn initials_for(
+        &mut self,
+        ts: &TransitionSystem,
+        config: &ProverConfig,
+        stats: &mut ProveStats,
+    ) -> Vec<Valuation> {
+        let key = (config.search.clone(), config.max_initial_configs);
+        memo(
+            &mut self.initials,
+            key,
+            &mut stats.artifact_cache_hits,
+            &mut stats.artifact_cache_misses,
+            || crate::check1::preferred_initials(ts, config),
+        )
+        .clone()
+    }
+}
+
+/// A prover session: one [`TransitionSystem`] plus memoized derived artifacts
+/// shared by every `prove` call on it.
+///
+/// This is the primary entry point of the crate.  Open a session once per
+/// program, then run as many configurations against it as needed — a sweep
+/// over the paper's configuration grid typically runs several times faster
+/// than fresh per-configuration [`crate::prove`] calls, with identical
+/// results (see the module docs for why the caches cannot change verdicts).
+///
+/// ```
+/// use revterm::{ProverSession, ProverConfig, quick_sweep};
+/// use revterm_lang::parse_program;
+///
+/// let program = parse_program("while x >= 0 do x := x + 1; od").unwrap();
+/// let mut session = ProverSession::from_program(&program).unwrap();
+/// let report = session.sweep(&quick_sweep(), 1);
+/// assert!(report.proved());
+/// ```
+pub struct ProverSession {
+    ts: TransitionSystem,
+    caches: Caches,
+    stats: SessionStats,
+}
+
+impl ProverSession {
+    /// Opens a session on a transition system.
+    pub fn new(ts: TransitionSystem) -> ProverSession {
+        ProverSession { ts, caches: Caches::default(), stats: SessionStats::default() }
+    }
+
+    /// Opens a session by lowering a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowering error message if the program cannot be
+    /// translated.
+    pub fn from_program(program: &Program) -> Result<ProverSession, String> {
+        let ts = lower(program).map_err(|e| e.to_string())?;
+        Ok(ProverSession::new(ts))
+    }
+
+    /// The transition system this session proves facts about.
+    pub fn ts(&self) -> &TransitionSystem {
+        &self.ts
+    }
+
+    /// Running counter totals across every `prove` call of this session.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Proves non-termination with a single configuration, reusing every
+    /// artifact previous calls on this session have already computed.
+    ///
+    /// Behaves exactly like the free function [`crate::prove`] (including
+    /// the independent certificate re-validation), except faster when the
+    /// session is warm.  The returned [`ProofResult::stats`] describe this
+    /// call's work and cache effectiveness.
+    pub fn prove(&mut self, config: &ProverConfig) -> ProofResult {
+        let result = prove_cached(&self.ts, config, &mut self.caches);
+        self.stats.proves += 1;
+        self.stats.aggregate.accumulate(&result.stats);
+        result
+    }
+
+    /// Tries configurations in order, returning the first success.
+    ///
+    /// The sessioned equivalent of [`crate::prove_with_configs`].  If no
+    /// configuration succeeds the verdict is `Unknown` with the label of the
+    /// **empty** sweep documented on [`NO_CONFIGS_LABEL`] when `configs` is
+    /// empty, or `"none"` when configurations ran but all failed.
+    pub fn prove_first(&mut self, configs: &[ProverConfig]) -> ProofResult {
+        let start = std::time::Instant::now();
+        let mut stats = ProveStats::default();
+        for config in configs {
+            let result = self.prove(config);
+            stats.accumulate(&result.stats);
+            if result.is_non_terminating() {
+                return ProofResult { elapsed: start.elapsed(), stats, ..result };
+            }
+        }
+        ProofResult {
+            verdict: crate::prover::Verdict::Unknown,
+            elapsed: start.elapsed(),
+            config_label: if configs.is_empty() {
+                NO_CONFIGS_LABEL.to_string()
+            } else {
+                "none".to_string()
+            },
+            stats,
+        }
+    }
+
+    /// Runs a configuration sweep (the paper's Section 6 protocol), stopping
+    /// early once `stop_after_success` successful configurations have been
+    /// observed (pass `usize::MAX` to run the full grid).
+    ///
+    /// The sessioned equivalent of [`crate::sweep`]: per-configuration
+    /// verdicts are identical to fresh runs, but shared artifacts are
+    /// computed once across the whole grid.
+    pub fn sweep(&mut self, configs: &[ProverConfig], stop_after_success: usize) -> SweepReport {
+        let mut report = SweepReport::default();
+        let mut successes = 0usize;
+        for config in configs {
+            let result = self.prove(config);
+            let proved = result.is_non_terminating();
+            report.outcomes.push(ConfigOutcome {
+                label: config.label(),
+                check: config.check,
+                strategy: config.strategy,
+                params: config.params,
+                proved,
+                elapsed: result.elapsed,
+                stats: result.stats,
+            });
+            if proved {
+                successes += 1;
+                if successes >= stop_after_success {
+                    break;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckKind;
+    use crate::sweep::quick_sweep;
+    use revterm_lang::parse_program;
+
+    const RUNNING: &str =
+        "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+
+    #[test]
+    fn session_matches_free_function_on_running_example() {
+        let ts = revterm_ts::lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let mut session = ProverSession::new(ts.clone());
+        for config in quick_sweep() {
+            let fresh = crate::prover::prove(&ts, &config);
+            let sessioned = session.prove(&config);
+            assert_eq!(fresh.is_non_terminating(), sessioned.is_non_terminating());
+            assert_eq!(fresh.config_label, sessioned.config_label);
+            match (fresh.certificate(), sessioned.certificate()) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.check_kind(), b.check_kind());
+                    assert_eq!(a.resolution(), b.resolution());
+                }
+                (None, None) => {}
+                _ => panic!("fresh and sessioned certificates disagree"),
+            }
+        }
+        assert_eq!(session.stats().proves, quick_sweep().len());
+    }
+
+    #[test]
+    fn second_config_hits_the_session_caches() {
+        let ts = revterm_ts::lower(&parse_program(RUNNING).unwrap()).unwrap();
+        let mut session = ProverSession::new(ts);
+        let first = session.prove(&ProverConfig::default());
+        let warm = session.prove(&ProverConfig::builder().template(3, 1, 1).build());
+        assert!(first.is_non_terminating());
+        assert!(warm.is_non_terminating());
+        // The first call on a cold session cannot hit the per-session
+        // artifact caches; the second call must.
+        assert_eq!(first.stats.artifact_cache_hits, 0);
+        assert!(warm.stats.artifact_cache_hits > 0, "warm stats: {:?}", warm.stats);
+        assert!(warm.stats.probe_cache_hits > 0, "warm stats: {:?}", warm.stats);
+        assert!(warm.stats.entailment_cache_hits > 0, "warm stats: {:?}", warm.stats);
+        // Session totals aggregate both calls.
+        let agg = session.stats().aggregate;
+        assert_eq!(
+            agg.entailment_calls,
+            first.stats.entailment_calls + warm.stats.entailment_calls
+        );
+        assert!(agg.total_cache_hits() >= warm.stats.total_cache_hits());
+    }
+
+    #[test]
+    fn prove_first_on_empty_slice_reports_the_documented_label() {
+        let ts = revterm_ts::lower(&parse_program("while true do skip; od").unwrap()).unwrap();
+        let mut session = ProverSession::new(ts);
+        let result = session.prove_first(&[]);
+        assert!(!result.is_non_terminating());
+        assert_eq!(result.config_label, NO_CONFIGS_LABEL);
+        assert_eq!(result.stats, ProveStats::default());
+        // A non-empty slice that fails everywhere keeps the legacy label.
+        let ts2 =
+            revterm_ts::lower(&parse_program("n := 0; while n <= 3 do n := n + 1; od").unwrap())
+                .unwrap();
+        let mut session2 = ProverSession::new(ts2);
+        let failed = session2.prove_first(&[ProverConfig::default()]);
+        assert!(!failed.is_non_terminating());
+        assert_eq!(failed.config_label, "none");
+    }
+
+    #[test]
+    fn session_sweep_stops_after_success_like_the_free_sweep() {
+        let ts =
+            revterm_ts::lower(&parse_program("while x >= 0 do x := x + 1; od").unwrap()).unwrap();
+        let mut session = ProverSession::new(ts);
+        let report = session.sweep(&quick_sweep(), 1);
+        assert!(report.proved());
+        assert_eq!(report.outcomes.len(), 1, "stop_after_success must cut the grid short");
+        assert_eq!(report.outcomes[0].check, CheckKind::Check1);
+    }
+}

@@ -8,7 +8,7 @@
 //! data behind Tables 1–4.
 
 use crate::config::{CheckKind, ProverConfig, Strategy};
-use crate::prover::prove;
+use crate::session::{ProveStats, ProverSession};
 use revterm_invgen::TemplateParams;
 use revterm_ts::TransitionSystem;
 use std::time::Duration;
@@ -28,6 +28,9 @@ pub struct ConfigOutcome {
     pub proved: bool,
     /// Wall-clock time of this configuration.
     pub elapsed: Duration,
+    /// Per-stage statistics of this configuration's run (candidates tried,
+    /// synthesis/entailment calls, cache hits).
+    pub stats: ProveStats,
 }
 
 /// The sweep result for one benchmark.
@@ -56,9 +59,7 @@ impl SweepReport {
     /// The successful configurations restricted to a check / strategy cell
     /// (used by the Table 3 harness).
     pub fn proved_with(&self, check: CheckKind, strategy: Strategy) -> bool {
-        self.outcomes
-            .iter()
-            .any(|o| o.proved && o.check == check && o.strategy == strategy)
+        self.outcomes.iter().any(|o| o.proved && o.check == check && o.strategy == strategy)
     }
 
     /// Whether some configuration with template bounds `c ≤ max_c` and
@@ -85,12 +86,13 @@ pub fn default_sweep() -> Vec<ProverConfig> {
             for &c in &[1usize, 2, 3] {
                 for &d in &[1usize, 2] {
                     for &degree in &[1u32, 2] {
-                        configs.push(ProverConfig {
-                            check,
-                            strategy,
-                            params: TemplateParams::new(c, d, degree),
-                            ..ProverConfig::default()
-                        });
+                        configs.push(
+                            ProverConfig::builder()
+                                .check(check)
+                                .strategy(strategy)
+                                .params(TemplateParams::new(c, d, degree))
+                                .build(),
+                        );
                     }
                 }
             }
@@ -104,44 +106,34 @@ pub fn default_sweep() -> Vec<ProverConfig> {
 pub fn quick_sweep() -> Vec<ProverConfig> {
     vec![
         ProverConfig::default(),
-        ProverConfig {
-            check: CheckKind::Check2,
-            params: TemplateParams::new(3, 1, 1),
-            ..ProverConfig::default()
-        },
+        ProverConfig::builder().check(CheckKind::Check2).template(3, 1, 1).build(),
     ]
+}
+
+/// The degree-1 slice of [`default_sweep`]: both checks, both strategies,
+/// `c ∈ {1, 2, 3}`, `d ∈ {1, 2}`, `D = 1` (24 configurations).
+///
+/// Degree-2 cells pay for Handelman products in every entailment call and
+/// are orders of magnitude more expensive; harnesses that track sweep
+/// performance (e.g. `session_vs_fresh` in `revterm-bench`) use this grid.
+pub fn degree1_sweep() -> Vec<ProverConfig> {
+    default_sweep().into_iter().filter(|c| c.params.degree == 1).collect()
 }
 
 /// Runs a configuration sweep on a transition system, stopping early once
 /// `stop_after_success` successful configurations have been observed (pass
 /// `usize::MAX` to run the full grid, as the paper's per-configuration tables
 /// require).
+///
+/// Deprecated-style wrapper over [`ProverSession::sweep`] on a one-shot
+/// session; prefer keeping the session when sweeping more than once (or when
+/// also proving single configurations of the same system).
 pub fn sweep(
     ts: &TransitionSystem,
     configs: &[ProverConfig],
     stop_after_success: usize,
 ) -> SweepReport {
-    let mut report = SweepReport::default();
-    let mut successes = 0usize;
-    for config in configs {
-        let result = prove(ts, config);
-        let proved = result.is_non_terminating();
-        report.outcomes.push(ConfigOutcome {
-            label: config.label(),
-            check: config.check,
-            strategy: config.strategy,
-            params: config.params,
-            proved,
-            elapsed: result.elapsed,
-        });
-        if proved {
-            successes += 1;
-            if successes >= stop_after_success {
-                break;
-            }
-        }
-    }
-    report
+    ProverSession::new(ts.clone()).sweep(configs, stop_after_success)
 }
 
 #[cfg(test)]
@@ -149,6 +141,13 @@ mod tests {
     use super::*;
     use revterm_lang::parse_program;
     use revterm_ts::lower;
+
+    #[test]
+    fn degree1_sweep_is_the_degree_one_slice() {
+        let configs = degree1_sweep();
+        assert_eq!(configs.len(), 2 * 2 * 3 * 2);
+        assert!(configs.iter().all(|c| c.params.degree == 1));
+    }
 
     #[test]
     fn default_sweep_covers_both_checks_and_strategies() {

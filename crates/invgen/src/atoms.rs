@@ -186,6 +186,64 @@ fn guard_atoms(ts: &TransitionSystem) -> Vec<Poly> {
     out
 }
 
+/// Memoized per-system template artifacts: the program constants, the
+/// guard-derived atoms and the shape lists per template parameters.
+///
+/// These three ingredients of [`candidate_atoms`] depend only on the
+/// transition system (and, for shapes, on the template parameters) — not on
+/// the sample sets — yet the uncached pool generator recomputes them once per
+/// location per synthesis call.  A `PoolCache` is valid for exactly **one**
+/// transition system; the session-centric prover API keeps one per cached
+/// restricted/reversed system.
+#[derive(Debug, Clone, Default)]
+pub struct PoolCache {
+    constants: Option<Vec<Int>>,
+    guard_atoms: Option<Vec<Poly>>,
+    /// Shape lists keyed by the `(c, degree)` components that determine them.
+    shapes: Vec<((usize, u32), Vec<Poly>)>,
+    /// Number of `prepare` calls answered entirely from the cache.
+    pub hits: u64,
+    /// Total number of `prepare` calls.
+    pub lookups: u64,
+}
+
+impl PoolCache {
+    /// Creates an empty cache.
+    pub fn new() -> PoolCache {
+        PoolCache::default()
+    }
+
+    /// Ensures constants, guard atoms and the shape list for `params` are
+    /// computed, counting a hit when everything was already present.
+    fn prepare(&mut self, ts: &TransitionSystem, params: &TemplateParams) {
+        self.lookups += 1;
+        let shape_key = (params.c, params.degree);
+        let have_shapes = self.shapes.iter().any(|(k, _)| *k == shape_key);
+        if self.constants.is_some() && self.guard_atoms.is_some() && have_shapes {
+            self.hits += 1;
+            return;
+        }
+        if self.constants.is_none() {
+            self.constants = Some(collect_constants(ts));
+        }
+        if self.guard_atoms.is_none() {
+            self.guard_atoms = Some(guard_atoms(ts));
+        }
+        if !have_shapes {
+            self.shapes.push((shape_key, shapes(ts, params)));
+        }
+    }
+
+    fn shapes_for(&self, params: &TemplateParams) -> &[Poly] {
+        let shape_key = (params.c, params.degree);
+        self.shapes
+            .iter()
+            .find(|(k, _)| *k == shape_key)
+            .map(|(_, s)| s.as_slice())
+            .expect("prepare fills the shape list")
+    }
+}
+
 /// Generates the candidate atom pool for a location.
 ///
 /// Every returned polynomial `p` is a candidate conjunct `p ≥ 0` that is
@@ -198,10 +256,24 @@ pub fn candidate_atoms(
     samples: &SampleSet,
     params: &TemplateParams,
 ) -> Vec<Poly> {
-    let constants = collect_constants(ts);
+    candidate_atoms_cached(ts, loc, samples, params, &mut PoolCache::new())
+}
+
+/// [`candidate_atoms`] with the per-system artifacts served from a
+/// [`PoolCache`].  Produces bitwise-identical pools; the cache must belong to
+/// `ts` (see the `PoolCache` docs).
+pub fn candidate_atoms_cached(
+    ts: &TransitionSystem,
+    loc: Loc,
+    samples: &SampleSet,
+    params: &TemplateParams,
+    cache: &mut PoolCache,
+) -> Vec<Poly> {
+    cache.prepare(ts, params);
+    let constants = cache.constants.as_deref().expect("prepare fills constants");
     let locals = samples.at(loc);
     let mut pool = Vec::new();
-    for shape in shapes(ts, params) {
+    for shape in cache.shapes_for(params) {
         // Tightest threshold consistent with the samples: k = min over samples
         // of shape(sample); candidate atom is shape - k >= 0.
         let sample_min: Option<Rat> = locals
@@ -227,17 +299,17 @@ pub fn candidate_atoms(
             .collect();
         let start = consistent.len().saturating_sub(MAX_THRESHOLDS_PER_SHAPE);
         for k in &consistent[start..] {
-            let atom = &shape - &Poly::constant(k.clone());
+            let atom = shape - &Poly::constant(k.clone());
             pool.push(atom);
         }
     }
     if params.c >= 3 {
-        for atom in guard_atoms(ts) {
-            let ok = locals
-                .iter()
-                .all(|v| !atom.eval(&|var: Var| Rat::from(v.get(var.index()).clone())).is_negative());
+        for atom in cache.guard_atoms.as_deref().expect("prepare fills guard atoms") {
+            let ok = locals.iter().all(|v| {
+                !atom.eval(&|var: Var| Rat::from(v.get(var.index()).clone())).is_negative()
+            });
             if ok {
-                pool.push(atom);
+                pool.push(atom.clone());
             }
         }
     }
@@ -312,6 +384,23 @@ mod tests {
         // But not x >= 10, which the sample x = 9 falsifies.
         let x_minus_10 = Poly::var(ts.vars().unprimed(0)) - Poly::constant_i64(10);
         assert!(!pool.contains(&x_minus_10));
+    }
+
+    #[test]
+    fn cached_pools_match_uncached_pools() {
+        let ts = running_ts();
+        let mut samples = SampleSet::new();
+        samples.add(ts.init_loc(), Valuation::from_i64s(&[9, 0]));
+        let mut cache = PoolCache::new();
+        for params in [TemplateParams::new(1, 1, 1), TemplateParams::new(3, 2, 2)] {
+            for loc in ts.locations() {
+                let fresh = candidate_atoms(&ts, loc, &samples, &params);
+                let cached = candidate_atoms_cached(&ts, loc, &samples, &params, &mut cache);
+                assert_eq!(fresh, cached, "pool mismatch at {loc:?} with {params:?}");
+            }
+        }
+        // Every location after the first (per params) is served from the cache.
+        assert!(cache.hits >= cache.lookups - 2, "hits {} lookups {}", cache.hits, cache.lookups);
     }
 
     #[test]

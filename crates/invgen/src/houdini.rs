@@ -1,9 +1,9 @@
 //! Guess-and-check (Houdini-style) synthesis of inductive predicate maps.
 
-use crate::atoms::{candidate_atoms, SampleSet, TemplateParams};
+use crate::atoms::{candidate_atoms_cached, PoolCache, SampleSet, TemplateParams};
 use crate::verify::{is_inductive, predicate_entails};
 use revterm_poly::Poly;
-use revterm_solver::{entails, implies_false, EntailmentOptions};
+use revterm_solver::{EntailmentCache, EntailmentOptions};
 use revterm_ts::{Assertion, Loc, PredicateMap, PropPredicate, TransitionSystem};
 
 /// Options controlling [`synthesize_invariant`].
@@ -52,13 +52,38 @@ pub fn synthesize_invariant(
     samples: &SampleSet,
     options: &SynthesisOptions,
 ) -> PredicateMap {
+    synthesize_invariant_cached(
+        ts,
+        samples,
+        options,
+        &mut PoolCache::new(),
+        &mut EntailmentCache::new(),
+    )
+}
+
+/// [`synthesize_invariant`] with the candidate-pool artifacts served from a
+/// [`PoolCache`] and every entailment query memoized in an
+/// [`EntailmentCache`].
+///
+/// Produces a bitwise-identical predicate map (both caches are pure memo
+/// tables); the pool cache must belong to `ts`, while the entailment cache is
+/// keyed purely on polynomials and may be shared across systems.  The
+/// session-centric prover API threads long-lived caches through here so that
+/// configuration sweeps discharge each recurring consecution obligation once.
+pub fn synthesize_invariant_cached(
+    ts: &TransitionSystem,
+    samples: &SampleSet,
+    options: &SynthesisOptions,
+    pool: &mut PoolCache,
+    entail: &mut EntailmentCache,
+) -> PredicateMap {
     let mut atom_sets: Vec<Vec<Poly>> = ts
         .locations()
         .map(|loc| {
             if Some(loc) == options.forced_false {
                 Vec::new()
             } else {
-                candidate_atoms(ts, loc, samples, &options.params)
+                candidate_atoms_cached(ts, loc, samples, &options.params, pool)
             }
         })
         .collect();
@@ -68,7 +93,8 @@ pub fn synthesize_invariant(
         let theta: Vec<Poly> = ts.init_assertion().atoms().to_vec();
         let init = ts.init_loc();
         atom_sets[init.0].retain(|atom| {
-            entails(&theta, atom, &options.entailment) || implies_false(&theta, &options.entailment)
+            entail.entails(&theta, atom, &options.entailment)
+                || entail.implies_false(&theta, &options.entailment)
         });
     }
 
@@ -99,14 +125,21 @@ pub fn synthesize_invariant(
                         }
                     });
                     premises.contains(&primed)
-                        || entails(&premises, &primed, &adaptive(&premises, &primed, &options.entailment))
+                        || entail.entails(
+                            &premises,
+                            &primed,
+                            &adaptive(&premises, &primed, &options.entailment),
+                        )
                 })
                 .cloned()
                 .collect();
             if kept.len() != before {
                 // Check unsatisfiability once before committing to a drop: if
                 // the premises are contradictory the obligations hold anyway.
-                if implies_false(&premises, &adaptive(&premises, &Poly::one(), &options.entailment)) {
+                if entail.implies_false(
+                    &premises,
+                    &adaptive(&premises, &Poly::one(), &options.entailment),
+                ) {
                     continue;
                 }
                 atom_sets[target] = kept;
@@ -168,10 +201,13 @@ pub fn invariant_implies_at(
     fact: &Poly,
     opts: &EntailmentOptions,
 ) -> bool {
-    map.at(loc)
-        .disjuncts()
-        .iter()
-        .all(|d| predicate_entails(d.atoms(), &PropPredicate::from_assertion(Assertion::ge_zero(fact.clone())), opts))
+    map.at(loc).disjuncts().iter().all(|d| {
+        predicate_entails(
+            d.atoms(),
+            &PropPredicate::from_assertion(Assertion::ge_zero(fact.clone())),
+            opts,
+        )
+    })
 }
 
 #[cfg(test)]
@@ -217,7 +253,8 @@ mod tests {
 
         // Samples: run the (now deterministic) system from (9, 0).
         let mut samples = SampleSet::new();
-        let start = revterm_ts::interp::Config::new(restricted.init_loc(), Valuation::from_i64s(&[9, 0]));
+        let start =
+            revterm_ts::interp::Config::new(restricted.init_loc(), Valuation::from_i64s(&[9, 0]));
         for cfg in revterm_ts::interp::run(&restricted, &start, &|_, _| int(0), 60) {
             samples.add(cfg.loc, cfg.vals);
         }
@@ -283,7 +320,10 @@ mod tests {
         // synthesis succeeds trivially and the incoming-transition check holds
         // because there are no transitions into ℓ_out at all.
         let ts = lower(&parse_program("while true do skip; od").unwrap()).unwrap();
-        assert_eq!(ts.transitions_to(ts.terminal_loc()).filter(|t| t.source != ts.terminal_loc()).count(), 0);
+        assert_eq!(
+            ts.transitions_to(ts.terminal_loc()).filter(|t| t.source != ts.terminal_loc()).count(),
+            0
+        );
         let options = SynthesisOptions {
             require_initiation: false,
             forced_false: Some(ts.terminal_loc()),

@@ -32,7 +32,11 @@ impl fmt::Display for InductivenessViolation {
 /// Chooses entailment options adequate for the degrees involved: purely
 /// linear obligations use plain Farkas (fast), anything non-linear uses the
 /// configured Handelman budget.
-fn adaptive_opts(premises: &[Poly], conclusion_degree: u32, base: &EntailmentOptions) -> EntailmentOptions {
+fn adaptive_opts(
+    premises: &[Poly],
+    conclusion_degree: u32,
+    base: &EntailmentOptions,
+) -> EntailmentOptions {
     let max_premise_degree = premises.iter().map(|p| p.total_degree()).max().unwrap_or(0);
     if max_premise_degree <= 1 && conclusion_degree <= 1 {
         EntailmentOptions::linear()
@@ -90,10 +94,7 @@ pub fn is_inductive(
             let mut premises: Vec<Poly> = disjunct.atoms().to_vec();
             premises.extend(t.relation.atoms().iter().cloned());
             if !predicate_entails(&premises, &target_pred_primed, opts) {
-                return Err(InductivenessViolation {
-                    transition_id: t.id,
-                    disjunct_index: j,
-                });
+                return Err(InductivenessViolation { transition_id: t.id, disjunct_index: j });
             }
         }
         // A location whose predicate is `false` (no disjuncts) imposes no
@@ -104,7 +105,11 @@ pub fn is_inductive(
 }
 
 /// Checks the initiation condition: `Θ_init ⟹ I(ℓ_init)`.
-pub fn initiation_holds(ts: &TransitionSystem, map: &PredicateMap, opts: &EntailmentOptions) -> bool {
+pub fn initiation_holds(
+    ts: &TransitionSystem,
+    map: &PredicateMap,
+    opts: &EntailmentOptions,
+) -> bool {
     let premises: Vec<Poly> = ts.init_assertion().atoms().to_vec();
     predicate_entails(&premises, map.at(ts.init_loc()), opts)
 }
@@ -187,10 +192,7 @@ mod tests {
         }
         let violation = is_inductive(&restricted, &bad, &opts, &[]).unwrap_err();
         let t = restricted.transition(violation.transition_id);
-        assert!(matches!(
-            t.kind,
-            revterm_ts::TransitionKind::Assign { var: 0, .. }
-        ));
+        assert!(matches!(t.kind, revterm_ts::TransitionKind::Assign { var: 0, .. }));
     }
 
     #[test]
@@ -203,10 +205,8 @@ mod tests {
         let mut map = PredicateMap::tautology(restricted.num_locs());
         map.set(restricted.terminal_loc(), PropPredicate::unsatisfiable());
         let violation = is_inductive(&restricted, &map, &opts, &[]).unwrap_err();
-        let into_terminal: Vec<usize> = restricted
-            .transitions_to(restricted.terminal_loc())
-            .map(|t| t.id)
-            .collect();
+        let into_terminal: Vec<usize> =
+            restricted.transitions_to(restricted.terminal_loc()).map(|t| t.id).collect();
         assert!(into_terminal.contains(&violation.transition_id));
         assert_eq!(is_inductive(&restricted, &map, &opts, &into_terminal), Ok(()));
     }

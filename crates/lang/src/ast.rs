@@ -285,11 +285,7 @@ pub struct Program {
 impl Program {
     /// Creates a program from a body with no preamble.
     pub fn new(body: Vec<Stmt>) -> Program {
-        Program {
-            preamble: Vec::new(),
-            body,
-            name: None,
-        }
+        Program { preamble: Vec::new(), body, name: None }
     }
 
     /// All program variables in first-occurrence order (preamble first).
@@ -353,12 +349,10 @@ mod tests {
     fn program_variables_and_nondet() {
         let prog = Program {
             preamble: vec![("n".into(), Expr::int(0))],
-            body: vec![
-                Stmt::While(
-                    BoolExpr::cmp(CmpOp::Ge, Expr::var("x"), Expr::int(0)),
-                    vec![Stmt::NdetAssign("u".into()), Stmt::Assign("x".into(), Expr::var("u"))],
-                ),
-            ],
+            body: vec![Stmt::While(
+                BoolExpr::cmp(CmpOp::Ge, Expr::var("x"), Expr::int(0)),
+                vec![Stmt::NdetAssign("u".into()), Stmt::Assign("x".into(), Expr::var("u"))],
+            )],
             name: None,
         };
         assert_eq!(prog.variables(), vec!["n", "x", "u"]);

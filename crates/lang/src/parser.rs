@@ -36,11 +36,7 @@ impl<'a> Parser<'a> {
     }
 
     fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|t| t.line).unwrap_or(0)
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -133,8 +129,7 @@ impl<'a> Parser<'a> {
     fn parse_if_tail(&mut self) -> Result<Stmt, ParseError> {
         let cond = self.parse_bool()?;
         self.expect(&TokenKind::Then, "'then'")?;
-        let then_branch =
-            self.parse_block(&[TokenKind::Else, TokenKind::ElseIf, TokenKind::Fi])?;
+        let then_branch = self.parse_block(&[TokenKind::Else, TokenKind::ElseIf, TokenKind::Fi])?;
         match self.peek().cloned() {
             Some(TokenKind::Fi) => {
                 self.advance();
@@ -152,7 +147,9 @@ impl<'a> Parser<'a> {
                 let nested = self.parse_if_tail_noconsume()?;
                 Ok(Stmt::If(cond, then_branch, vec![nested]))
             }
-            other => Err(self.error(format!("expected 'else', 'elseif' or 'fi', found {:?}", other))),
+            other => {
+                Err(self.error(format!("expected 'else', 'elseif' or 'fi', found {:?}", other)))
+            }
         }
     }
 

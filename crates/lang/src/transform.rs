@@ -70,10 +70,7 @@ fn bool_degree(b: &BoolExpr) -> u32 {
 ///
 /// Returns an [`AnalysisError`] describing the first violation.
 pub fn analyze(program: &Program) -> Result<ProgramInfo, AnalysisError> {
-    let mut info = ProgramInfo {
-        variables: program.variables(),
-        ..ProgramInfo::default()
-    };
+    let mut info = ProgramInfo { variables: program.variables(), ..ProgramInfo::default() };
     for (_, e) in &program.preamble {
         info.max_degree = info.max_degree.max(expr_degree(e));
     }

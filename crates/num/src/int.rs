@@ -181,11 +181,7 @@ fn mag_shr(a: &[u64], bits: usize) -> Vec<u64> {
         let src = &a[limb_shift..];
         for i in 0..src.len() {
             let lo = src[i] >> bit_shift;
-            let hi = if i + 1 < src.len() {
-                src[i + 1] << (64 - bit_shift)
-            } else {
-                0
-            };
+            let hi = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
             out.push(lo | hi);
         }
     }
@@ -243,10 +239,7 @@ fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
 impl Int {
     /// The integer zero.
     pub fn zero() -> Self {
-        Int {
-            sign: Sign::Zero,
-            limbs: Vec::new(),
-        }
+        Int { sign: Sign::Zero, limbs: Vec::new() }
     }
 
     /// The integer one.
@@ -424,10 +417,7 @@ impl From<u64> for Int {
         if v == 0 {
             Int::zero()
         } else {
-            Int {
-                sign: Sign::Positive,
-                limbs: vec![v],
-            }
+            Int { sign: Sign::Positive, limbs: vec![v] }
         }
     }
 }
@@ -543,7 +533,7 @@ impl Ord for Int {
 
 // Arithmetic on references; owned forms forward to these.
 
-impl<'a, 'b> Add<&'b Int> for &'a Int {
+impl<'b> Add<&'b Int> for &Int {
     type Output = Int;
     fn add(self, rhs: &'b Int) -> Int {
         match (self.sign, rhs.sign) {
@@ -554,9 +544,7 @@ impl<'a, 'b> Add<&'b Int> for &'a Int {
                 // Opposite signs: subtract smaller magnitude from larger.
                 match mag_cmp(&self.limbs, &rhs.limbs) {
                     Ordering::Equal => Int::zero(),
-                    Ordering::Greater => {
-                        Int::from_mag(self.sign, mag_sub(&self.limbs, &rhs.limbs))
-                    }
+                    Ordering::Greater => Int::from_mag(self.sign, mag_sub(&self.limbs, &rhs.limbs)),
                     Ordering::Less => Int::from_mag(rhs.sign, mag_sub(&rhs.limbs, &self.limbs)),
                 }
             }
@@ -564,36 +552,32 @@ impl<'a, 'b> Add<&'b Int> for &'a Int {
     }
 }
 
-impl<'a, 'b> Sub<&'b Int> for &'a Int {
+impl<'b> Sub<&'b Int> for &Int {
     type Output = Int;
     fn sub(self, rhs: &'b Int) -> Int {
         self + &(-rhs.clone())
     }
 }
 
-impl<'a, 'b> Mul<&'b Int> for &'a Int {
+impl<'b> Mul<&'b Int> for &Int {
     type Output = Int;
     fn mul(self, rhs: &'b Int) -> Int {
         if self.is_zero() || rhs.is_zero() {
             return Int::zero();
         }
-        let sign = if self.sign == rhs.sign {
-            Sign::Positive
-        } else {
-            Sign::Negative
-        };
+        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
         Int::from_mag(sign, mag_mul(&self.limbs, &rhs.limbs))
     }
 }
 
-impl<'a, 'b> Div<&'b Int> for &'a Int {
+impl<'b> Div<&'b Int> for &Int {
     type Output = Int;
     fn div(self, rhs: &'b Int) -> Int {
         self.div_rem(rhs).0
     }
 }
 
-impl<'a, 'b> Rem<&'b Int> for &'a Int {
+impl<'b> Rem<&'b Int> for &Int {
     type Output = Int;
     fn rem(self, rhs: &'b Int) -> Int {
         self.div_rem(rhs).1
@@ -641,7 +625,7 @@ impl Neg for Int {
     }
 }
 
-impl<'a> Neg for &'a Int {
+impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
         -self.clone()
@@ -675,7 +659,32 @@ impl std::iter::Sum for Int {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// SplitMix64: a tiny deterministic generator for the randomized tests
+    /// below (no external crates are available in this workspace).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn i128_any(&mut self) -> i128 {
+            ((self.next_u64() as i128) << 64) | self.next_u64() as i128
+        }
+
+        fn i64_any(&mut self) -> i64 {
+            self.next_u64() as i64
+        }
+
+        fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+            lo + (self.i128_any().rem_euclid(hi - lo))
+        }
+    }
 
     fn big(s: &str) -> Int {
         s.parse().unwrap()
@@ -792,7 +801,7 @@ mod tests {
 
     #[test]
     fn ordering() {
-        let mut v = vec![
+        let mut v = [
             Int::from(3_i64),
             Int::from(-10_i64),
             Int::zero(),
@@ -828,68 +837,108 @@ mod tests {
         assert_eq!(Int::from(2_i64).pow(130).bits(), 131);
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_matches_i128(a in -1_000_000_000_000_i128..1_000_000_000_000, b in -1_000_000_000_000_i128..1_000_000_000_000) {
-            prop_assert_eq!(Int::from(a) + Int::from(b), Int::from(a + b));
+    #[test]
+    fn prop_add_matches_i128() {
+        let mut rng = Rng(1);
+        for _ in 0..256 {
+            let a = rng.in_range(-1_000_000_000_000, 1_000_000_000_000);
+            let b = rng.in_range(-1_000_000_000_000, 1_000_000_000_000);
+            assert_eq!(Int::from(a) + Int::from(b), Int::from(a + b));
         }
+    }
 
-        #[test]
-        fn prop_mul_matches_i128(a in -1_000_000_000_i128..1_000_000_000, b in -1_000_000_000_i128..1_000_000_000) {
-            prop_assert_eq!(Int::from(a) * Int::from(b), Int::from(a * b));
+    #[test]
+    fn prop_mul_matches_i128() {
+        let mut rng = Rng(2);
+        for _ in 0..256 {
+            let a = rng.in_range(-1_000_000_000, 1_000_000_000);
+            let b = rng.in_range(-1_000_000_000, 1_000_000_000);
+            assert_eq!(Int::from(a) * Int::from(b), Int::from(a * b));
         }
+    }
 
-        #[test]
-        fn prop_divrem_matches_i128(a in -1_000_000_000_000_i128..1_000_000_000_000, b in -1_000_000_i128..1_000_000) {
-            prop_assume!(b != 0);
+    #[test]
+    fn prop_divrem_matches_i128() {
+        let mut rng = Rng(3);
+        for _ in 0..256 {
+            let a = rng.in_range(-1_000_000_000_000, 1_000_000_000_000);
+            let b = rng.in_range(-1_000_000, 1_000_000);
+            if b == 0 {
+                continue;
+            }
             let (q, r) = Int::from(a).div_rem(&Int::from(b));
-            prop_assert_eq!(q, Int::from(a / b));
-            prop_assert_eq!(r, Int::from(a % b));
+            assert_eq!(q, Int::from(a / b));
+            assert_eq!(r, Int::from(a % b));
         }
+    }
 
-        #[test]
-        fn prop_divrem_reconstructs(a in any::<i128>(), b in any::<i128>()) {
-            prop_assume!(b != 0);
+    #[test]
+    fn prop_divrem_reconstructs() {
+        let mut rng = Rng(4);
+        for _ in 0..256 {
+            let a = rng.i128_any();
+            let b = rng.i128_any();
+            if b == 0 {
+                continue;
+            }
             // a = q*b + r, |r| < |b|
             let ia = Int::from(a);
             let ib = Int::from(b);
             let (q, r) = ia.div_rem(&ib);
-            prop_assert_eq!(&q * &ib + &r, ia);
-            prop_assert!(r.abs() < ib.abs());
+            assert_eq!(&q * &ib + &r, ia);
+            assert!(r.abs() < ib.abs());
         }
+    }
 
-        #[test]
-        fn prop_parse_display_roundtrip(a in any::<i128>()) {
-            let i = Int::from(a);
+    #[test]
+    fn prop_parse_display_roundtrip() {
+        let mut rng = Rng(5);
+        for _ in 0..256 {
+            let i = Int::from(rng.i128_any());
             let back: Int = i.to_string().parse().unwrap();
-            prop_assert_eq!(back, i);
+            assert_eq!(back, i);
         }
+    }
 
-        #[test]
-        fn prop_gcd_divides(a in any::<i64>(), b in any::<i64>()) {
+    #[test]
+    fn prop_gcd_divides() {
+        let mut rng = Rng(6);
+        for _ in 0..256 {
+            let a = rng.i64_any();
+            let b = rng.i64_any();
             let g = Int::from(a).gcd(&Int::from(b));
             if !g.is_zero() {
-                prop_assert_eq!(Int::from(a) % &g, Int::zero());
-                prop_assert_eq!(Int::from(b) % &g, Int::zero());
+                assert_eq!(Int::from(a) % &g, Int::zero());
+                assert_eq!(Int::from(b) % &g, Int::zero());
             } else {
-                prop_assert_eq!(a, 0);
-                prop_assert_eq!(b, 0);
+                assert_eq!(a, 0);
+                assert_eq!(b, 0);
             }
         }
+    }
 
-        #[test]
-        fn prop_cmp_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-            prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+    #[test]
+    fn prop_cmp_matches_i128() {
+        let mut rng = Rng(7);
+        for _ in 0..256 {
+            let a = rng.i128_any();
+            let b = rng.i128_any();
+            assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
         }
+    }
 
-        #[test]
-        fn prop_mul_big_then_div(a in 1_i128..1_000_000_000_000_000, b in 1_i128..1_000_000_000_000_000) {
+    #[test]
+    fn prop_mul_big_then_div() {
+        let mut rng = Rng(8);
+        for _ in 0..256 {
+            let a = rng.in_range(1, 1_000_000_000_000_000);
+            let b = rng.in_range(1, 1_000_000_000_000_000);
             let ia = Int::from(a);
             let ib = Int::from(b);
             let prod = &ia * &ib;
-            prop_assert_eq!(&prod / &ia, ib.clone());
-            prop_assert_eq!(&prod / &ib, ia);
-            prop_assert_eq!(&prod % &ib, Int::zero());
+            assert_eq!(&prod / &ia, ib.clone());
+            assert_eq!(&prod / &ib, ia);
+            assert_eq!(&prod % &ib, Int::zero());
         }
     }
 }

@@ -54,32 +54,20 @@ impl Rat {
             den = -den;
         }
         if num.is_zero() {
-            return Rat {
-                num: Int::zero(),
-                den: Int::one(),
-            };
+            return Rat { num: Int::zero(), den: Int::one() };
         }
         let g = num.gcd(&den);
-        Rat {
-            num: &num / &g,
-            den: &den / &g,
-        }
+        Rat { num: &num / &g, den: &den / &g }
     }
 
     /// The rational zero.
     pub fn zero() -> Rat {
-        Rat {
-            num: Int::zero(),
-            den: Int::one(),
-        }
+        Rat { num: Int::zero(), den: Int::one() }
     }
 
     /// The rational one.
     pub fn one() -> Rat {
-        Rat {
-            num: Int::one(),
-            den: Int::one(),
-        }
+        Rat { num: Int::one(), den: Int::one() }
     }
 
     /// Numerator (sign-carrying part).
@@ -124,10 +112,7 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat {
-            num: self.num.abs(),
-            den: self.den.clone(),
-        }
+        Rat { num: self.num.abs(), den: self.den.clone() }
     }
 
     /// Multiplicative inverse.
@@ -162,10 +147,7 @@ impl Rat {
 
     /// Raises to a non-negative integer power.
     pub fn pow(&self, exp: u32) -> Rat {
-        Rat {
-            num: self.num.pow(exp),
-            den: self.den.pow(exp),
-        }
+        Rat { num: self.num.pow(exp), den: self.den.pow(exp) }
     }
 
     /// Lossy conversion to `f64` (reporting only).
@@ -276,34 +258,28 @@ impl Ord for Rat {
     }
 }
 
-impl<'a, 'b> Add<&'b Rat> for &'a Rat {
+impl<'b> Add<&'b Rat> for &Rat {
     type Output = Rat;
     fn add(self, rhs: &'b Rat) -> Rat {
-        Rat::new(
-            &self.num * &rhs.den + &rhs.num * &self.den,
-            &self.den * &rhs.den,
-        )
+        Rat::new(&self.num * &rhs.den + &rhs.num * &self.den, &self.den * &rhs.den)
     }
 }
 
-impl<'a, 'b> Sub<&'b Rat> for &'a Rat {
+impl<'b> Sub<&'b Rat> for &Rat {
     type Output = Rat;
     fn sub(self, rhs: &'b Rat) -> Rat {
-        Rat::new(
-            &self.num * &rhs.den - &rhs.num * &self.den,
-            &self.den * &rhs.den,
-        )
+        Rat::new(&self.num * &rhs.den - &rhs.num * &self.den, &self.den * &rhs.den)
     }
 }
 
-impl<'a, 'b> Mul<&'b Rat> for &'a Rat {
+impl<'b> Mul<&'b Rat> for &Rat {
     type Output = Rat;
     fn mul(self, rhs: &'b Rat) -> Rat {
         Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
     }
 }
 
-impl<'a, 'b> Div<&'b Rat> for &'a Rat {
+impl<'b> Div<&'b Rat> for &Rat {
     type Output = Rat;
     fn div(self, rhs: &'b Rat) -> Rat {
         assert!(!rhs.is_zero(), "division by zero rational");
@@ -342,14 +318,11 @@ forward_rat_binop!(Div, div);
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat {
-            num: -self.num,
-            den: self.den,
-        }
+        Rat { num: -self.num, den: self.den }
     }
 }
 
-impl<'a> Neg for &'a Rat {
+impl Neg for &Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
         -self.clone()
@@ -383,7 +356,23 @@ impl std::iter::Sum for Rat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// SplitMix64, as in `int.rs`: deterministic substitute for proptest.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (self.next_u64() as i64).rem_euclid(hi - lo)
+        }
+    }
 
     fn r(n: i64, d: i64) -> Rat {
         Rat::new(Int::from(n), Int::from(d))
@@ -461,55 +450,79 @@ mod tests {
         assert!(!r(3, 2).is_integer());
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_commutes(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
-            prop_assert_eq!(r(a, b) + r(c, d), r(c, d) + r(a, b));
+    #[test]
+    fn prop_add_commutes() {
+        let mut rng = Rng(11);
+        for _ in 0..256 {
+            let (a, b) = (rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            let (c, d) = (rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            assert_eq!(r(a, b) + r(c, d), r(c, d) + r(a, b));
         }
+    }
 
-        #[test]
-        fn prop_mul_distributes(a in -100_i64..100, b in 1_i64..20, c in -100_i64..100, d in 1_i64..20, e in -100_i64..100, f in 1_i64..20) {
-            let x = r(a, b);
-            let y = r(c, d);
-            let z = r(e, f);
-            prop_assert_eq!(&x * (&y + &z), &x * &y + &x * &z);
+    #[test]
+    fn prop_mul_distributes() {
+        let mut rng = Rng(12);
+        for _ in 0..256 {
+            let x = r(rng.in_range(-100, 100), rng.in_range(1, 20));
+            let y = r(rng.in_range(-100, 100), rng.in_range(1, 20));
+            let z = r(rng.in_range(-100, 100), rng.in_range(1, 20));
+            assert_eq!(&x * (&y + &z), &x * &y + &x * &z);
         }
+    }
 
-        #[test]
-        fn prop_sub_add_inverse(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
-            let x = r(a, b);
-            let y = r(c, d);
-            prop_assert_eq!(&(&x - &y) + &y, x);
+    #[test]
+    fn prop_sub_add_inverse() {
+        let mut rng = Rng(13);
+        for _ in 0..256 {
+            let x = r(rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            let y = r(rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            assert_eq!(&(&x - &y) + &y, x);
         }
+    }
 
-        #[test]
-        fn prop_div_mul_inverse(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
-            prop_assume!(c != 0);
-            let x = r(a, b);
-            let y = r(c, d);
-            prop_assert_eq!(&(&x / &y) * &y, x);
+    #[test]
+    fn prop_div_mul_inverse() {
+        let mut rng = Rng(14);
+        for _ in 0..256 {
+            let x = r(rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            let c = rng.in_range(-1000, 1000);
+            if c == 0 {
+                continue;
+            }
+            let y = r(c, rng.in_range(1, 50));
+            assert_eq!(&(&x / &y) * &y, x);
         }
+    }
 
-        #[test]
-        fn prop_floor_le_value_lt_floor_plus_one(a in -10_000_i64..10_000, b in 1_i64..100) {
-            let x = r(a, b);
+    #[test]
+    fn prop_floor_le_value_lt_floor_plus_one() {
+        let mut rng = Rng(15);
+        for _ in 0..256 {
+            let x = r(rng.in_range(-10_000, 10_000), rng.in_range(1, 100));
             let fl = Rat::from(x.floor());
-            prop_assert!(fl <= x);
-            prop_assert!(x < &fl + &Rat::one());
+            assert!(fl <= x);
+            assert!(x < &fl + &Rat::one());
         }
+    }
 
-        #[test]
-        fn prop_parse_display_roundtrip(a in -100_000_i64..100_000, b in 1_i64..1000) {
-            let x = r(a, b);
+    #[test]
+    fn prop_parse_display_roundtrip() {
+        let mut rng = Rng(16);
+        for _ in 0..256 {
+            let x = r(rng.in_range(-100_000, 100_000), rng.in_range(1, 1000));
             let back: Rat = x.to_string().parse().unwrap();
-            prop_assert_eq!(back, x);
+            assert_eq!(back, x);
         }
+    }
 
-        #[test]
-        fn prop_cmp_antisymmetric(a in -1000_i64..1000, b in 1_i64..50, c in -1000_i64..1000, d in 1_i64..50) {
-            let x = r(a, b);
-            let y = r(c, d);
-            prop_assert_eq!(x.cmp(&y), y.cmp(&x).reverse());
+    #[test]
+    fn prop_cmp_antisymmetric() {
+        let mut rng = Rng(17);
+        for _ in 0..256 {
+            let x = r(rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            let y = r(rng.in_range(-1000, 1000), rng.in_range(1, 50));
+            assert_eq!(x.cmp(&y), y.cmp(&x).reverse());
         }
     }
 }

@@ -28,18 +28,12 @@ pub struct LinExpr {
 impl LinExpr {
     /// The zero expression.
     pub fn zero() -> Self {
-        LinExpr {
-            constant: Rat::zero(),
-            coeffs: BTreeMap::new(),
-        }
+        LinExpr { constant: Rat::zero(), coeffs: BTreeMap::new() }
     }
 
     /// A constant expression.
     pub fn constant(c: Rat) -> Self {
-        LinExpr {
-            constant: c,
-            coeffs: BTreeMap::new(),
-        }
+        LinExpr { constant: c, coeffs: BTreeMap::new() }
     }
 
     /// The expression consisting of a single variable.
@@ -135,7 +129,7 @@ impl fmt::Display for LinExpr {
     }
 }
 
-impl<'a, 'b> Add<&'b LinExpr> for &'a LinExpr {
+impl<'b> Add<&'b LinExpr> for &LinExpr {
     type Output = LinExpr;
     fn add(self, rhs: &'b LinExpr) -> LinExpr {
         let mut out = self.clone();
@@ -147,7 +141,7 @@ impl<'a, 'b> Add<&'b LinExpr> for &'a LinExpr {
     }
 }
 
-impl<'a, 'b> Sub<&'b LinExpr> for &'a LinExpr {
+impl<'b> Sub<&'b LinExpr> for &LinExpr {
     type Output = LinExpr;
     fn sub(self, rhs: &'b LinExpr) -> LinExpr {
         self + &(-rhs.clone())
@@ -175,7 +169,7 @@ impl Neg for LinExpr {
     }
 }
 
-impl<'a> Neg for &'a LinExpr {
+impl Neg for &LinExpr {
     type Output = LinExpr;
     fn neg(self) -> LinExpr {
         self.scale(&-Rat::one())

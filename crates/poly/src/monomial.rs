@@ -60,11 +60,7 @@ impl Monomial {
 
     /// Exponent of a variable (zero if absent).
     pub fn exponent(&self, v: Var) -> u32 {
-        self.factors
-            .iter()
-            .find(|&&(w, _)| w == v)
-            .map(|&(_, e)| e)
-            .unwrap_or(0)
+        self.factors.iter().find(|&&(w, _)| w == v).map(|&(_, e)| e).unwrap_or(0)
     }
 
     /// Iterates over `(variable, exponent)` pairs.

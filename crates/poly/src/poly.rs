@@ -131,11 +131,8 @@ impl Poly {
 
     /// The set of variables that occur in the polynomial.
     pub fn vars(&self) -> Vec<Var> {
-        let mut out: Vec<Var> = self
-            .terms
-            .keys()
-            .flat_map(|m| m.vars().collect::<Vec<_>>())
-            .collect();
+        let mut out: Vec<Var> =
+            self.terms.keys().flat_map(|m| m.vars().collect::<Vec<_>>()).collect();
         out.sort();
         out.dedup();
         out
@@ -146,9 +143,7 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero();
         }
-        Poly {
-            terms: self.terms.iter().map(|(m, v)| (m.clone(), v * c)).collect(),
-        }
+        Poly { terms: self.terms.iter().map(|(m, v)| (m.clone(), v * c)).collect() }
     }
 
     /// Raises the polynomial to a non-negative power.
@@ -231,7 +226,7 @@ impl Poly {
     /// multiplier used.
     pub fn clear_denominators(&self) -> (Poly, Int) {
         let mut lcm = Int::one();
-        for (_, c) in &self.terms {
+        for c in self.terms.values() {
             lcm = lcm.lcm(c.denom());
         }
         let mult = Rat::from(lcm.clone());
@@ -293,7 +288,7 @@ impl From<Rat> for Poly {
     }
 }
 
-impl<'a, 'b> Add<&'b Poly> for &'a Poly {
+impl<'b> Add<&'b Poly> for &Poly {
     type Output = Poly;
     fn add(self, rhs: &'b Poly) -> Poly {
         let mut out = self.clone();
@@ -304,7 +299,7 @@ impl<'a, 'b> Add<&'b Poly> for &'a Poly {
     }
 }
 
-impl<'a, 'b> Sub<&'b Poly> for &'a Poly {
+impl<'b> Sub<&'b Poly> for &Poly {
     type Output = Poly;
     fn sub(self, rhs: &'b Poly) -> Poly {
         let mut out = self.clone();
@@ -315,7 +310,7 @@ impl<'a, 'b> Sub<&'b Poly> for &'a Poly {
     }
 }
 
-impl<'a, 'b> Mul<&'b Poly> for &'a Poly {
+impl<'b> Mul<&'b Poly> for &Poly {
     type Output = Poly;
     fn mul(self, rhs: &'b Poly) -> Poly {
         let mut out = Poly::zero();
@@ -362,7 +357,7 @@ impl Neg for Poly {
     }
 }
 
-impl<'a> Neg for &'a Poly {
+impl Neg for &Poly {
     type Output = Poly;
     fn neg(self) -> Poly {
         self.scale(&-Rat::one())
@@ -378,8 +373,24 @@ impl std::iter::Sum for Poly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use revterm_num::rat;
+
+    /// SplitMix64, as in `revterm-num`: deterministic substitute for proptest.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (self.next_u64() as i64).rem_euclid(hi - lo)
+        }
+    }
 
     fn x() -> Poly {
         Poly::var(Var(0))
@@ -496,52 +507,82 @@ mod tests {
         assert!(Poly::one().vars().is_empty());
     }
 
-    fn small_poly() -> impl Strategy<Value = Poly> {
-        // Random polynomials over 3 variables with small integer coefficients.
-        proptest::collection::vec(
-            (0u32..3, 0u32..3, -5i64..6),
-            0..6,
-        )
-        .prop_map(|terms| {
-            Poly::from_terms(terms.into_iter().map(|(v, e, c)| {
-                (Monomial::from_pairs([(Var(v), e)]), rat(c))
-            }))
-        })
+    // Random polynomials over 3 variables with small integer coefficients.
+    fn small_poly(rng: &mut Rng) -> Poly {
+        let n_terms = rng.in_range(0, 6) as usize;
+        Poly::from_terms((0..n_terms).map(|_| {
+            let v = rng.in_range(0, 3) as u32;
+            let e = rng.in_range(0, 3) as u32;
+            let c = rng.in_range(-5, 6);
+            (Monomial::from_pairs([(Var(v), e)]), rat(c))
+        }))
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_commutative(p in small_poly(), q in small_poly()) {
-            prop_assert_eq!(&p + &q, &q + &p);
+    #[test]
+    fn prop_add_commutative() {
+        let mut rng = Rng(21);
+        for _ in 0..128 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
+            assert_eq!(&p + &q, &q + &p);
         }
+    }
 
-        #[test]
-        fn prop_mul_commutative(p in small_poly(), q in small_poly()) {
-            prop_assert_eq!(&p * &q, &q * &p);
+    #[test]
+    fn prop_mul_commutative() {
+        let mut rng = Rng(22);
+        for _ in 0..128 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
+            assert_eq!(&p * &q, &q * &p);
         }
+    }
 
-        #[test]
-        fn prop_distributivity(p in small_poly(), q in small_poly(), r in small_poly()) {
-            prop_assert_eq!(&p * &(&q + &r), &p * &q + &p * &r);
+    #[test]
+    fn prop_distributivity() {
+        let mut rng = Rng(23);
+        for _ in 0..128 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
+            let r = small_poly(&mut rng);
+            assert_eq!(&p * &(&q + &r), &p * &q + &p * &r);
         }
+    }
 
-        #[test]
-        fn prop_eval_homomorphic(p in small_poly(), q in small_poly(), a in -4i64..5, b in -4i64..5, c in -4i64..5) {
-            let assign = move |v: Var| match v.0 { 0 => rat(a), 1 => rat(b), _ => rat(c) };
+    #[test]
+    fn prop_eval_homomorphic() {
+        let mut rng = Rng(24);
+        for _ in 0..128 {
+            let p = small_poly(&mut rng);
+            let q = small_poly(&mut rng);
+            let (a, b, c) = (rng.in_range(-4, 5), rng.in_range(-4, 5), rng.in_range(-4, 5));
+            let assign = move |v: Var| match v.0 {
+                0 => rat(a),
+                1 => rat(b),
+                _ => rat(c),
+            };
             let sum_eval = (&p + &q).eval(&assign);
             let prod_eval = (&p * &q).eval(&assign);
-            prop_assert_eq!(sum_eval, &p.eval(&assign) + &q.eval(&assign));
-            prop_assert_eq!(prod_eval, &p.eval(&assign) * &q.eval(&assign));
+            assert_eq!(sum_eval, &p.eval(&assign) + &q.eval(&assign));
+            assert_eq!(prod_eval, &p.eval(&assign) * &q.eval(&assign));
         }
+    }
 
-        #[test]
-        fn prop_substitute_identity(p in small_poly()) {
-            prop_assert_eq!(p.substitute(&Poly::var), p);
+    #[test]
+    fn prop_substitute_identity() {
+        let mut rng = Rng(25);
+        for _ in 0..128 {
+            let p = small_poly(&mut rng);
+            assert_eq!(p.substitute(&Poly::var), p);
         }
+    }
 
-        #[test]
-        fn prop_neg_is_additive_inverse(p in small_poly()) {
-            prop_assert!((&p + &(-p.clone())).is_zero());
+    #[test]
+    fn prop_neg_is_additive_inverse() {
+        let mut rng = Rng(26);
+        for _ in 0..128 {
+            let p = small_poly(&mut rng);
+            assert!((&p + &(-p.clone())).is_zero());
         }
     }
 }

@@ -27,7 +27,7 @@ use revterm_ts::interp::{bounded_reach, is_initial_valuation, Config, Valuation}
 use revterm_ts::{PredicateMap, TransitionSystem};
 
 /// Bounds for the explicit-state search.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SearchBounds {
     /// Maximal number of BFS layers explored.
     pub max_steps: usize,
@@ -42,12 +42,7 @@ pub struct SearchBounds {
 
 impl Default for SearchBounds {
     fn default() -> Self {
-        SearchBounds {
-            max_steps: 60,
-            max_configs: 4000,
-            max_initial: 64,
-            grid: 2,
-        }
+        SearchBounds { max_steps: 60, max_configs: 4000, max_initial: 64, grid: 2 }
     }
 }
 
@@ -145,9 +140,7 @@ pub fn find_reachable_in(
 /// baseline provers to detect "the program can terminate from the explored
 /// region").
 pub fn find_reachable_terminal(ts: &TransitionSystem, bounds: &SearchBounds) -> Option<Config> {
-    reachable_samples(ts, bounds)
-        .into_iter()
-        .find(|cfg| cfg.loc == ts.terminal_loc())
+    reachable_samples(ts, bounds).into_iter().find(|cfg| cfg.loc == ts.terminal_loc())
 }
 
 /// Breadth-first search that returns a complete **path** (sequence of
@@ -266,7 +259,9 @@ mod tests {
         let mut target = PredicateMap::unsatisfiable(ts.num_locs());
         target.set(
             ts.init_loc(),
-            PropPredicate::from_assertion(Assertion::ge_zero(n.clone() - revterm_poly::Poly::constant_i64(3))),
+            PropPredicate::from_assertion(Assertion::ge_zero(
+                n.clone() - revterm_poly::Poly::constant_i64(3),
+            )),
         );
         let hit = find_reachable_in(&ts, &target, &SearchBounds::default()).unwrap();
         assert_eq!(hit.loc, ts.init_loc());
@@ -277,7 +272,9 @@ mod tests {
         let mut unreachable = PredicateMap::unsatisfiable(ts.num_locs());
         unreachable.set(
             ts.init_loc(),
-            PropPredicate::from_assertion(Assertion::ge_zero(n - revterm_poly::Poly::constant_i64(100))),
+            PropPredicate::from_assertion(Assertion::ge_zero(
+                n - revterm_poly::Poly::constant_i64(100),
+            )),
         );
         assert!(find_reachable_in(&ts, &unreachable, &SearchBounds::default()).is_none());
     }
@@ -291,8 +288,6 @@ mod tests {
         // The terminal location is reachable (choose a value < 9 for x).
         assert!(samples.iter().any(|c| c.loc == ts.terminal_loc()));
         // Some sample stays in the loop with x >= 9.
-        assert!(samples
-            .iter()
-            .any(|c| c.loc == ts.init_loc() && c.vals.get(0) >= &int(9)));
+        assert!(samples.iter().any(|c| c.loc == ts.init_loc() && c.vals.get(0) >= &int(9)));
     }
 }

@@ -23,7 +23,7 @@ use revterm_num::Rat;
 use revterm_poly::{LinExpr, Monomial, Poly, Var};
 
 /// Options controlling the entailment search.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EntailmentOptions {
     /// Maximal number of premises multiplied together in one product
     /// (1 = plain Farkas; 2 is enough for the quadratic certificates that
@@ -38,31 +38,19 @@ pub struct EntailmentOptions {
 
 impl Default for EntailmentOptions {
     fn default() -> Self {
-        EntailmentOptions {
-            max_product_size: 2,
-            max_product_degree: 4,
-            use_unsat_fallback: true,
-        }
+        EntailmentOptions { max_product_size: 2, max_product_degree: 4, use_unsat_fallback: true }
     }
 }
 
 impl EntailmentOptions {
     /// Options for purely linear reasoning (plain Farkas lemma).
     pub fn linear() -> Self {
-        EntailmentOptions {
-            max_product_size: 1,
-            max_product_degree: 1,
-            use_unsat_fallback: true,
-        }
+        EntailmentOptions { max_product_size: 1, max_product_degree: 1, use_unsat_fallback: true }
     }
 
     /// Options with a given product size / degree budget.
     pub fn with_budget(max_product_size: usize, max_product_degree: u32) -> Self {
-        EntailmentOptions {
-            max_product_size,
-            max_product_degree,
-            use_unsat_fallback: true,
-        }
+        EntailmentOptions { max_product_size, max_product_degree, use_unsat_fallback: true }
     }
 }
 
@@ -116,11 +104,7 @@ fn combination_witness(product_list: &[Poly], target: &Poly) -> Option<Vec<Rat>>
         lp.add_constraint(expr, Rel::Eq);
     }
     let result = lp.solve();
-    result.solution().map(|sol| {
-        (0..product_list.len())
-            .map(|j| sol.value(Var(j as u32)))
-            .collect()
-    })
+    result.solution().map(|sol| (0..product_list.len()).map(|j| sol.value(Var(j as u32))).collect())
 }
 
 /// Checks whether the premises entail the conclusion (`∀x. ⋀ g_i ≥ 0 ⟹ p ≥ 0`)
@@ -171,6 +155,122 @@ pub fn implies_false(premises: &[Poly], opts: &EntailmentOptions) -> bool {
     }
     let product_list = products(premises, opts);
     combination_witness(&product_list, &Poly::constant_i64(-1)).is_some()
+}
+
+/// A memo table for the entailment oracle, reusable across many queries on
+/// the same (or overlapping) premise sets.
+///
+/// The oracle is a pure function of `(premises, conclusion, options)`, so
+/// memoizing its boolean outcome is sound and — crucially for configuration
+/// sweeps, where the same consecution obligations are re-discharged for every
+/// template size and strategy — turns the vast majority of repeated LP
+/// constructions into hash-map lookups.  A [`crate::entails`] call that goes
+/// through the cache returns *bitwise-identical* answers to the uncached
+/// oracle.
+///
+/// The cache also keeps hit/lookup counters so callers (the session-centric
+/// prover API) can report cache effectiveness.
+#[derive(Debug, Clone, Default)]
+pub struct EntailmentCache {
+    /// Buckets keyed by the hash of the *borrowed* query, so that cache hits
+    /// — the common case on a warm configuration sweep — never clone the
+    /// premises or conclusion; owned keys are built on insertion only.
+    map: std::collections::HashMap<u64, Vec<(EntailmentKey, bool)>>,
+    /// Number of queries answered from the memo table.
+    pub hits: u64,
+    /// Total number of queries routed through the cache.
+    pub lookups: u64,
+}
+
+/// Memo key: the premises in call order, the conclusion (`None` encodes an
+/// [`implies_false`] query), and the options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EntailmentKey {
+    premises: Vec<Poly>,
+    conclusion: Option<Poly>,
+    opts: EntailmentOptions,
+}
+
+impl EntailmentKey {
+    fn matches(
+        &self,
+        premises: &[Poly],
+        conclusion: Option<&Poly>,
+        opts: &EntailmentOptions,
+    ) -> bool {
+        self.premises == premises && self.conclusion.as_ref() == conclusion && self.opts == *opts
+    }
+}
+
+/// Hashes the borrowed form of a query; agreement with the derived `Hash` of
+/// [`EntailmentKey`] is not required (the hash only selects a bucket, the
+/// owned keys inside are compared structurally).
+fn query_hash(premises: &[Poly], conclusion: Option<&Poly>, opts: &EntailmentOptions) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    premises.hash(&mut hasher);
+    conclusion.hash(&mut hasher);
+    opts.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl EntailmentCache {
+    /// Creates an empty cache.
+    pub fn new() -> EntailmentCache {
+        EntailmentCache::default()
+    }
+
+    fn lookup_or(
+        &mut self,
+        premises: &[Poly],
+        conclusion: Option<&Poly>,
+        opts: &EntailmentOptions,
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        self.lookups += 1;
+        let bucket = self.map.entry(query_hash(premises, conclusion, opts)).or_default();
+        if let Some((_, answer)) =
+            bucket.iter().find(|(k, _)| k.matches(premises, conclusion, opts))
+        {
+            self.hits += 1;
+            return *answer;
+        }
+        let answer = compute();
+        bucket.push((
+            EntailmentKey {
+                premises: premises.to_vec(),
+                conclusion: conclusion.cloned(),
+                opts: opts.clone(),
+            },
+            answer,
+        ));
+        answer
+    }
+
+    /// Memoized [`entails`].
+    pub fn entails(
+        &mut self,
+        premises: &[Poly],
+        conclusion: &Poly,
+        opts: &EntailmentOptions,
+    ) -> bool {
+        self.lookup_or(premises, Some(conclusion), opts, || entails(premises, conclusion, opts))
+    }
+
+    /// Memoized [`implies_false`].
+    pub fn implies_false(&mut self, premises: &[Poly], opts: &EntailmentOptions) -> bool {
+        self.lookup_or(premises, None, opts, || implies_false(premises, opts))
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.map.values().map(|bucket| bucket.len()).sum()
+    }
+
+    /// Returns `true` iff nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -242,11 +342,7 @@ mod tests {
         // x >= 3 ⟹ x^2 >= 9   (needs the product (x-3)^2).
         assert!(entails(&[&x() - &c(3)], &(&x() * &x() - c(9)), &opts));
         // x >= 0 ∧ y >= 2 ⟹ x*y + x >= 0.
-        assert!(entails(
-            &[x(), &y() - &c(2)],
-            &(&(&x() * &y()) + &x()),
-            &opts
-        ));
+        assert!(entails(&[x(), &y() - &c(2)], &(&(&x() * &y()) + &x()), &opts));
         // x >= 0 does NOT imply x^2 >= 1.
         assert!(!entails(&[x()], &(&x() * &x() - c(1)), &opts));
     }
@@ -286,6 +382,32 @@ mod tests {
         assert!(entails(&premises, &(&xp - &c(9)), &opts));
         // ... and it does not entail x' >= y' (which is false when x < y).
         assert!(!entails(&premises, &(&xp - &yp), &opts));
+    }
+
+    #[test]
+    fn entailment_cache_matches_uncached_oracle_and_counts_hits() {
+        let opts = EntailmentOptions::linear();
+        let mut cache = EntailmentCache::new();
+        let queries: Vec<(Vec<Poly>, Poly)> = vec![
+            (vec![&x() - &c(3)], &x() - &c(1)),
+            (vec![&x() - &c(1)], &x() - &c(3)),
+            (vec![x(), y()], &x() + &y()),
+        ];
+        for (premises, conclusion) in &queries {
+            let fresh = entails(premises, conclusion, &opts);
+            assert_eq!(cache.entails(premises, conclusion, &opts), fresh);
+            // Second query is a hit and must agree.
+            let hits_before = cache.hits;
+            assert_eq!(cache.entails(premises, conclusion, &opts), fresh);
+            assert_eq!(cache.hits, hits_before + 1);
+        }
+        // implies_false queries are keyed separately from entails queries.
+        let contradiction = vec![&x() - &c(3), -x()];
+        assert!(cache.implies_false(&contradiction, &opts));
+        assert!(cache.implies_false(&contradiction, &opts));
+        assert!(!cache.is_empty());
+        assert_eq!(cache.len(), 4);
+        assert!(cache.lookups > cache.hits);
     }
 
     #[test]

@@ -39,6 +39,8 @@ mod entail;
 mod lp;
 mod rng;
 
-pub use entail::{entails, entails_with_witness, implies_false, EntailmentOptions};
+pub use entail::{
+    entails, entails_with_witness, implies_false, EntailmentCache, EntailmentOptions,
+};
 pub use lp::{LpProblem, LpResult, LpSolution, Rel, VarKind};
 pub use rng::SplitMix64;

@@ -103,7 +103,16 @@ impl fmt::Display for LpProblem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "lp with {} constraints", self.constraints.len())?;
         for (e, r) in &self.constraints {
-            writeln!(f, "  {} {} 0", e, match r { Rel::Eq => "=", Rel::Ge => ">=", Rel::Le => "<=" })?;
+            writeln!(
+                f,
+                "  {} {} 0",
+                e,
+                match r {
+                    Rel::Eq => "=",
+                    Rel::Ge => ">=",
+                    Rel::Le => "<=",
+                }
+            )?;
         }
         Ok(())
     }
@@ -190,7 +199,7 @@ impl LpProblem {
         // Append slack columns.
         let num_slack = slack_specs.len();
         for row in rows.iter_mut() {
-            row.extend(std::iter::repeat(Rat::zero()).take(num_slack));
+            row.extend(std::iter::repeat_n(Rat::zero(), num_slack));
         }
         for (k, (row_idx, coeff)) in slack_specs.iter().enumerate() {
             rows[*row_idx][structural_cols + k] = coeff.clone();
@@ -207,7 +216,7 @@ impl LpProblem {
         }
         // Append artificial columns (one per row) to get an initial basis.
         for (i, row) in rows.iter_mut().enumerate() {
-            row.extend(std::iter::repeat(Rat::zero()).take(m));
+            row.extend(std::iter::repeat_n(Rat::zero(), m));
             row[total_decision_cols + i] = Rat::one();
         }
         let total_cols = total_decision_cols + m;
@@ -222,11 +231,8 @@ impl LpProblem {
             // Phase 1 objective is bounded below by 0, so this cannot happen.
             return LpResult::Infeasible;
         }
-        let phase1_value: Rat = basis
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| &phase1_cost[b] * &rhs[i])
-            .sum();
+        let phase1_value: Rat =
+            basis.iter().enumerate().map(|(i, &b)| &phase1_cost[b] * &rhs[i]).sum();
         if phase1_value.is_positive() {
             return LpResult::Infeasible;
         }
@@ -257,11 +263,7 @@ impl LpProblem {
             if !simplex(&mut rows, &mut rhs, &mut basis, &cost, &banned) {
                 return LpResult::Unbounded;
             }
-            let basis_value: Rat = basis
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| &cost[b] * &rhs[i])
-                .sum();
+            let basis_value: Rat = basis.iter().enumerate().map(|(i, &b)| &cost[b] * &rhs[i]).sum();
             objective_value = &basis_value + obj.constant_part();
         } else {
             objective_value = Rat::zero();

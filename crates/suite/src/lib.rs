@@ -68,6 +68,16 @@ impl Benchmark {
         lower(&self.program())
             .unwrap_or_else(|e| panic!("benchmark {} does not lower: {e}", self.name))
     }
+
+    /// Opens a [`revterm::ProverSession`] on the benchmark — the preferred
+    /// way to run several configurations against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark does not lower (covered by tests).
+    pub fn session(&self) -> revterm::ProverSession {
+        revterm::ProverSession::new(self.transition_system())
+    }
 }
 
 fn bench(name: &'static str, family: &'static str, expected: Expected, source: &str) -> Benchmark {
@@ -111,29 +121,124 @@ pub fn curated_benchmarks() -> Vec<Benchmark> {
         bench("paper_fig3_aperiodic", "paper", Expected::NonTerminating, APERIODIC),
         // --- Trivial / simple loops ----------------------------------------
         bench("nt_while_true", "simple-loops", Expected::NonTerminating, "while true do skip; od"),
-        bench("nt_counter_up", "simple-loops", Expected::NonTerminating, "while x >= 0 do x := x + 1; od"),
-        bench("nt_counter_stuck", "simple-loops", Expected::NonTerminating, "while x == 0 do skip; od"),
-        bench("nt_two_counters", "simple-loops", Expected::NonTerminating, "while x + y >= 0 do x := x + 1; y := y + 1; od"),
-        bench("nt_guard_equal", "simple-loops", Expected::NonTerminating, "x := 0; while x <= 10 do x := x; od"),
-        bench("t_counter_down", "simple-loops", Expected::Terminating, "while x >= 0 do x := x - 1; od"),
-        bench("t_counter_up_bounded", "simple-loops", Expected::Terminating, "n := 0; while n <= 100 do n := n + 1; od"),
+        bench(
+            "nt_counter_up",
+            "simple-loops",
+            Expected::NonTerminating,
+            "while x >= 0 do x := x + 1; od",
+        ),
+        bench(
+            "nt_counter_stuck",
+            "simple-loops",
+            Expected::NonTerminating,
+            "while x == 0 do skip; od",
+        ),
+        bench(
+            "nt_two_counters",
+            "simple-loops",
+            Expected::NonTerminating,
+            "while x + y >= 0 do x := x + 1; y := y + 1; od",
+        ),
+        bench(
+            "nt_guard_equal",
+            "simple-loops",
+            Expected::NonTerminating,
+            "x := 0; while x <= 10 do x := x; od",
+        ),
+        bench(
+            "t_counter_down",
+            "simple-loops",
+            Expected::Terminating,
+            "while x >= 0 do x := x - 1; od",
+        ),
+        bench(
+            "t_counter_up_bounded",
+            "simple-loops",
+            Expected::Terminating,
+            "n := 0; while n <= 100 do n := n + 1; od",
+        ),
         bench("t_straightline", "simple-loops", Expected::Terminating, "x := 1; y := x + 2; skip;"),
-        bench("t_two_phase", "simple-loops", Expected::Terminating, "while x >= 1 do x := x - 2; od"),
-        bench("t_decreasing_pair", "simple-loops", Expected::Terminating, "while x >= 0 and y >= 0 do x := x - 1; y := y + 1; od"),
+        bench(
+            "t_two_phase",
+            "simple-loops",
+            Expected::Terminating,
+            "while x >= 1 do x := x - 2; od",
+        ),
+        bench(
+            "t_decreasing_pair",
+            "simple-loops",
+            Expected::Terminating,
+            "while x >= 0 and y >= 0 do x := x - 1; y := y + 1; od",
+        ),
         // --- Non-determinism in assignments --------------------------------
-        bench("nt_ndet_keep_high", "nondet", Expected::NonTerminating, "while x >= 5 do x := ndet(); od"),
-        bench("nt_ndet_reset", "nondet", Expected::NonTerminating, "while x >= 0 do y := ndet(); x := y * y; od"),
-        bench("nt_ndet_inner_loop", "nondet", Expected::NonTerminating, "while x >= 1 do y := ndet(); while y >= 1 do y := y - 1; od od"),
-        bench("t_ndet_forced_exit", "nondet", Expected::Terminating, "while x >= 1 and x <= 0 do x := ndet(); od"),
-        bench("t_ndet_decreasing", "nondet", Expected::Terminating, "while x >= 0 do y := ndet(); x := x - 1; od"),
+        bench(
+            "nt_ndet_keep_high",
+            "nondet",
+            Expected::NonTerminating,
+            "while x >= 5 do x := ndet(); od",
+        ),
+        bench(
+            "nt_ndet_reset",
+            "nondet",
+            Expected::NonTerminating,
+            "while x >= 0 do y := ndet(); x := y * y; od",
+        ),
+        bench(
+            "nt_ndet_inner_loop",
+            "nondet",
+            Expected::NonTerminating,
+            "while x >= 1 do y := ndet(); while y >= 1 do y := y - 1; od od",
+        ),
+        bench(
+            "t_ndet_forced_exit",
+            "nondet",
+            Expected::Terminating,
+            "while x >= 1 and x <= 0 do x := ndet(); od",
+        ),
+        bench(
+            "t_ndet_decreasing",
+            "nondet",
+            Expected::Terminating,
+            "while x >= 0 do y := ndet(); x := x - 1; od",
+        ),
         // --- Non-deterministic branching ------------------------------------
-        bench("nt_branch_keep", "nondet-branch", Expected::NonTerminating, "while x >= 0 do if * then x := x + 1; else x := x + 2; fi od"),
-        bench("t_branch_decrease", "nondet-branch", Expected::Terminating, "while x >= 0 do if * then x := x - 1; else x := x - 2; fi od"),
-        bench("nt_branch_one_way", "nondet-branch", Expected::NonTerminating, "while x >= 0 do if * then x := x - 1; else x := x; fi od"),
+        bench(
+            "nt_branch_keep",
+            "nondet-branch",
+            Expected::NonTerminating,
+            "while x >= 0 do if * then x := x + 1; else x := x + 2; fi od",
+        ),
+        bench(
+            "t_branch_decrease",
+            "nondet-branch",
+            Expected::Terminating,
+            "while x >= 0 do if * then x := x - 1; else x := x - 2; fi od",
+        ),
+        bench(
+            "nt_branch_one_way",
+            "nondet-branch",
+            Expected::NonTerminating,
+            "while x >= 0 do if * then x := x - 1; else x := x; fi od",
+        ),
         // --- Nested loops ----------------------------------------------------
-        bench("nt_nested_refill", "nested", Expected::NonTerminating, "while x >= 1 do y := x; while y >= 0 do y := y - 1; od od"),
-        bench("t_nested_bounded", "nested", Expected::Terminating, "while x >= 1 do y := x; while y >= 1 do y := y - 1; od x := x - 1; od"),
-        bench("nt_nested_growth", "nested", Expected::NonTerminating, "while x >= 2 do y := 2 * x; while x <= y do x := x + 1; od od"),
+        bench(
+            "nt_nested_refill",
+            "nested",
+            Expected::NonTerminating,
+            "while x >= 1 do y := x; while y >= 0 do y := y - 1; od od",
+        ),
+        bench(
+            "t_nested_bounded",
+            "nested",
+            Expected::Terminating,
+            "while x >= 1 do y := x; while y >= 1 do y := y - 1; od x := x - 1; od",
+        ),
+        bench(
+            "nt_nested_growth",
+            "nested",
+            Expected::NonTerminating,
+            "while x >= 2 do y := 2 * x; while x <= y do x := x + 1; od od",
+        ),
         // --- Escape-hatch counters (Fig. 2 family) ---------------------------
         bench(
             "nt_escape_bound_10",
@@ -154,18 +259,68 @@ pub fn curated_benchmarks() -> Vec<Benchmark> {
             "n := 0; while n <= 10 do u := ndet(); n := n + 1; od",
         ),
         // --- Polynomial arithmetic -------------------------------------------
-        bench("nt_square_growth", "polynomial", Expected::NonTerminating, "while x >= 2 do x := x * x; od"),
-        bench("t_square_shrink", "polynomial", Expected::Terminating, "while x >= 2 do x := x - x * x; od"),
-        bench("nt_poly_guard", "polynomial", Expected::NonTerminating, "while x * x >= 4 do x := x + 1; od"),
-        bench("nt_product_pump", "polynomial", Expected::NonTerminating, "while x * y >= 1 do x := x + y; od"),
+        bench(
+            "nt_square_growth",
+            "polynomial",
+            Expected::NonTerminating,
+            "while x >= 2 do x := x * x; od",
+        ),
+        bench(
+            "t_square_shrink",
+            "polynomial",
+            Expected::Terminating,
+            "while x >= 2 do x := x - x * x; od",
+        ),
+        bench(
+            "nt_poly_guard",
+            "polynomial",
+            Expected::NonTerminating,
+            "while x * x >= 4 do x := x + 1; od",
+        ),
+        bench(
+            "nt_product_pump",
+            "polynomial",
+            Expected::NonTerminating,
+            "while x * y >= 1 do x := x + y; od",
+        ),
         // --- Aperiodic family -------------------------------------------------
-        bench("nt_aperiodic_double", "aperiodic", Expected::NonTerminating, "while x >= 1 do y := 2 * x; while x <= y do x := x + 1; od od"),
-        bench("nt_aperiodic_triple", "aperiodic", Expected::NonTerminating, "while x >= 1 do y := 3 * x; while x <= y do x := x + 2; od od"),
+        bench(
+            "nt_aperiodic_double",
+            "aperiodic",
+            Expected::NonTerminating,
+            "while x >= 1 do y := 2 * x; while x <= y do x := x + 1; od od",
+        ),
+        bench(
+            "nt_aperiodic_triple",
+            "aperiodic",
+            Expected::NonTerminating,
+            "while x >= 1 do y := 3 * x; while x <= y do x := x + 2; od od",
+        ),
         // --- Multi-variable interplay ------------------------------------------
-        bench("nt_transfer", "multivar", Expected::NonTerminating, "while x + y >= 1 do x := x - 1; y := y + 2; od"),
-        bench("t_transfer_bounded", "multivar", Expected::Terminating, "while x >= 1 and y >= 1 do x := x - 1; y := y + 1; od"),
-        bench("nt_swap_forever", "multivar", Expected::NonTerminating, "while x >= 0 or y >= 0 do z := x; x := y; y := z; od"),
-        bench("t_min_decrease", "multivar", Expected::Terminating, "while x >= 0 and y >= 0 do x := x - 1; y := y - 1; od"),
+        bench(
+            "nt_transfer",
+            "multivar",
+            Expected::NonTerminating,
+            "while x + y >= 1 do x := x - 1; y := y + 2; od",
+        ),
+        bench(
+            "t_transfer_bounded",
+            "multivar",
+            Expected::Terminating,
+            "while x >= 1 and y >= 1 do x := x - 1; y := y + 1; od",
+        ),
+        bench(
+            "nt_swap_forever",
+            "multivar",
+            Expected::NonTerminating,
+            "while x >= 0 or y >= 0 do z := x; x := y; y := z; od",
+        ),
+        bench(
+            "t_min_decrease",
+            "multivar",
+            Expected::Terminating,
+            "while x >= 0 and y >= 0 do x := x - 1; y := y - 1; od",
+        ),
         // --- Open problems -----------------------------------------------------
         bench(
             "unknown_collatz_like",
@@ -219,9 +374,7 @@ pub fn generate_bounded_counter(bound: u32) -> Benchmark {
 /// loop multiplies `x` by `factor`, the inner loop counts back up — every
 /// non-terminating execution is aperiodic.
 pub fn generate_aperiodic(factor: u32) -> Benchmark {
-    let source = format!(
-        "while x >= 1 do y := {factor} * x; while x <= y do x := x + 1; od od"
-    );
+    let source = format!("while x >= 1 do y := {factor} * x; while x <= y do x := x + 1; od od");
     Benchmark {
         name: Box::leak(format!("gen_aperiodic_{factor}").into_boxed_str()),
         family: "generated-aperiodic",

@@ -31,16 +31,12 @@ impl Assertion {
 
     /// An unsatisfiable assertion (`-1 ≥ 0`).
     pub fn unsatisfiable() -> Assertion {
-        Assertion {
-            atoms: vec![Poly::constant_i64(-1)],
-        }
+        Assertion { atoms: vec![Poly::constant_i64(-1)] }
     }
 
     /// Builds an assertion from polynomials, each interpreted as `p ≥ 0`.
     pub fn from_polys<I: IntoIterator<Item = Poly>>(polys: I) -> Assertion {
-        Assertion {
-            atoms: polys.into_iter().collect(),
-        }
+        Assertion { atoms: polys.into_iter().collect() }
     }
 
     /// A single inequality `p ≥ 0`.
@@ -50,9 +46,7 @@ impl Assertion {
 
     /// The equality `p = 0`, encoded as `p ≥ 0 ∧ -p ≥ 0`.
     pub fn eq_zero(p: Poly) -> Assertion {
-        Assertion {
-            atoms: vec![p.clone(), -p],
-        }
+        Assertion { atoms: vec![p.clone(), -p] }
     }
 
     /// The atoms (each meaning `p ≥ 0`).
@@ -77,9 +71,7 @@ impl Assertion {
 
     /// Conjunction of two assertions.
     pub fn and(&self, other: &Assertion) -> Assertion {
-        Assertion {
-            atoms: self.atoms.iter().chain(other.atoms.iter()).cloned().collect(),
-        }
+        Assertion { atoms: self.atoms.iter().chain(other.atoms.iter()).cloned().collect() }
     }
 
     /// Returns `true` iff every atom is a constant polynomial that is
@@ -112,16 +104,12 @@ impl Assertion {
 
     /// Applies a variable renaming to every atom.
     pub fn rename(&self, map: &dyn Fn(Var) -> Var) -> Assertion {
-        Assertion {
-            atoms: self.atoms.iter().map(|p| p.rename(map)).collect(),
-        }
+        Assertion { atoms: self.atoms.iter().map(|p| p.rename(map)).collect() }
     }
 
     /// Substitutes polynomials for variables in every atom.
     pub fn substitute(&self, subst: &dyn Fn(Var) -> Poly) -> Assertion {
-        Assertion {
-            atoms: self.atoms.iter().map(|p| p.substitute(subst)).collect(),
-        }
+        Assertion { atoms: self.atoms.iter().map(|p| p.substitute(subst)).collect() }
     }
 
     /// The exact negation of the assertion over the integers: a disjunction of
@@ -186,9 +174,7 @@ pub struct PropPredicate {
 impl PropPredicate {
     /// The predicate `true` (one empty disjunct).
     pub fn tautology() -> PropPredicate {
-        PropPredicate {
-            disjuncts: vec![Assertion::tautology()],
-        }
+        PropPredicate { disjuncts: vec![Assertion::tautology()] }
     }
 
     /// The predicate `false` (no disjuncts).
@@ -198,9 +184,7 @@ impl PropPredicate {
 
     /// Builds a predicate from its disjuncts.
     pub fn from_disjuncts<I: IntoIterator<Item = Assertion>>(disjuncts: I) -> PropPredicate {
-        PropPredicate {
-            disjuncts: disjuncts.into_iter().collect(),
-        }
+        PropPredicate { disjuncts: disjuncts.into_iter().collect() }
     }
 
     /// A predicate with a single disjunct.
@@ -231,12 +215,7 @@ impl PropPredicate {
     /// Disjunction of two predicates.
     pub fn or(&self, other: &PropPredicate) -> PropPredicate {
         PropPredicate {
-            disjuncts: self
-                .disjuncts
-                .iter()
-                .chain(other.disjuncts.iter())
-                .cloned()
-                .collect(),
+            disjuncts: self.disjuncts.iter().chain(other.disjuncts.iter()).cloned().collect(),
         }
     }
 
@@ -273,16 +252,12 @@ impl PropPredicate {
 
     /// Applies a variable renaming.
     pub fn rename(&self, map: &dyn Fn(Var) -> Var) -> PropPredicate {
-        PropPredicate {
-            disjuncts: self.disjuncts.iter().map(|d| d.rename(map)).collect(),
-        }
+        PropPredicate { disjuncts: self.disjuncts.iter().map(|d| d.rename(map)).collect() }
     }
 
     /// Substitutes polynomials for variables.
     pub fn substitute(&self, subst: &dyn Fn(Var) -> Poly) -> PropPredicate {
-        PropPredicate {
-            disjuncts: self.disjuncts.iter().map(|d| d.substitute(subst)).collect(),
-        }
+        PropPredicate { disjuncts: self.disjuncts.iter().map(|d| d.substitute(subst)).collect() }
     }
 
     /// Returns `true` iff the predicate is syntactically `false`.
@@ -339,16 +314,12 @@ pub struct PredicateMap {
 impl PredicateMap {
     /// Creates a predicate map assigning `true` to `num_locs` locations.
     pub fn tautology(num_locs: usize) -> PredicateMap {
-        PredicateMap {
-            preds: vec![PropPredicate::tautology(); num_locs],
-        }
+        PredicateMap { preds: vec![PropPredicate::tautology(); num_locs] }
     }
 
     /// Creates a predicate map assigning `false` to `num_locs` locations.
     pub fn unsatisfiable(num_locs: usize) -> PredicateMap {
-        PredicateMap {
-            preds: vec![PropPredicate::unsatisfiable(); num_locs],
-        }
+        PredicateMap { preds: vec![PropPredicate::unsatisfiable(); num_locs] }
     }
 
     /// Creates a predicate map from per-location predicates.
@@ -391,9 +362,7 @@ impl PredicateMap {
 
     /// The complement predicate map `¬I` (Section 2), exact over the integers.
     pub fn complement(&self) -> PredicateMap {
-        PredicateMap {
-            preds: self.preds.iter().map(|p| p.negate()).collect(),
-        }
+        PredicateMap { preds: self.preds.iter().map(|p| p.negate()).collect() }
     }
 
     /// The maximal `(c, d)` shape over all locations.

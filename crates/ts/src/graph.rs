@@ -40,9 +40,8 @@ pub fn sccs(ts: &TransitionSystem) -> Vec<Vec<Loc>> {
             continue;
         }
         let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-        let succs = |v: usize| -> Vec<usize> {
-            ts.transitions_from(Loc(v)).map(|t| t.target.0).collect()
-        };
+        let succs =
+            |v: usize| -> Vec<usize> { ts.transitions_from(Loc(v)).map(|t| t.target.0).collect() };
         call_stack.push((start, succs(start), 0));
         index[start] = next_index;
         low[start] = next_index;
@@ -101,12 +100,7 @@ pub fn sccs(ts: &TransitionSystem) -> Vec<Vec<Loc>> {
 pub fn cyclic_sccs(ts: &TransitionSystem) -> Vec<Vec<Loc>> {
     sccs(ts)
         .into_iter()
-        .filter(|c| {
-            c.len() > 1
-                || ts
-                    .transitions_from(c[0])
-                    .any(|t| t.target == c[0])
-        })
+        .filter(|c| c.len() > 1 || ts.transitions_from(c[0]).any(|t| t.target == c[0]))
         .collect()
 }
 
@@ -121,9 +115,8 @@ pub fn cutpoints(ts: &TransitionSystem) -> BTreeSet<Loc> {
     let mut cut = BTreeSet::new();
     // Explicit DFS.
     let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
-    let succs = |v: usize| -> Vec<usize> {
-        ts.transitions_from(Loc(v)).map(|t| t.target.0).collect()
-    };
+    let succs =
+        |v: usize| -> Vec<usize> { ts.transitions_from(Loc(v)).map(|t| t.target.0).collect() };
     for start in (0..n).map(|i| (ts.init_loc().0 + i) % n) {
         if color[start] != 0 {
             continue;

@@ -331,12 +331,7 @@ mod tests {
         let ts = running_ts();
         let init = Config::new(ts.init_loc(), Valuation::from_i64s(&[12, 1]));
         for (tid, succ) in successors(&ts, &init, &[int(3)]) {
-            assert!(relation_holds(
-                &ts,
-                &ts.transition(tid).relation,
-                &init.vals,
-                &succ.vals
-            ));
+            assert!(relation_holds(&ts, &ts.transition(tid).relation, &init.vals, &succ.vals));
         }
     }
 
@@ -344,7 +339,7 @@ mod tests {
     fn bounded_reach_is_sound() {
         let ts = running_ts();
         let init = Config::new(ts.init_loc(), Valuation::from_i64s(&[9, 0]));
-        let reached = bounded_reach(&ts, &[init.clone()], &[int(0), int(9)], 20, 2000);
+        let reached = bounded_reach(&ts, std::slice::from_ref(&init), &[int(0), int(9)], 20, 2000);
         assert!(reached.contains(&init));
         // Every reached configuration other than the seeds must be the target
         // of a transition from another reached configuration — spot check by

@@ -51,10 +51,9 @@ impl std::error::Error for LowerError {}
 /// Converts an arithmetic expression to a polynomial over unprimed variables.
 pub(crate) fn expr_to_poly(e: &Expr, vars: &VarTable) -> Poly {
     match e {
-        Expr::Var(name) => Poly::var(
-            vars.lookup(name)
-                .expect("expression variable must be a program variable"),
-        ),
+        Expr::Var(name) => {
+            Poly::var(vars.lookup(name).expect("expression variable must be a program variable"))
+        }
         Expr::Const(v) => Poly::constant(Rat::from(v.clone())),
         Expr::Neg(a) => -expr_to_poly(a, vars),
         Expr::Bin(op, a, b) => {
@@ -93,16 +92,12 @@ pub(crate) fn bool_to_pred(
     negated: bool,
 ) -> Result<PropPredicate, LowerError> {
     match b {
-        BoolExpr::True => Ok(if negated {
-            PropPredicate::unsatisfiable()
-        } else {
-            PropPredicate::tautology()
-        }),
-        BoolExpr::False => Ok(if negated {
-            PropPredicate::tautology()
-        } else {
-            PropPredicate::unsatisfiable()
-        }),
+        BoolExpr::True => {
+            Ok(if negated { PropPredicate::unsatisfiable() } else { PropPredicate::tautology() })
+        }
+        BoolExpr::False => {
+            Ok(if negated { PropPredicate::tautology() } else { PropPredicate::unsatisfiable() })
+        }
         BoolExpr::Nondet => Err(LowerError::NondetGuard),
         BoolExpr::Cmp(op, a, c) => {
             let op = if negated { op.negate() } else { *op };
@@ -162,7 +157,13 @@ impl Builder {
         a
     }
 
-    fn add_transition(&mut self, source: Loc, target: Loc, relation: Assertion, kind: TransitionKind) {
+    fn add_transition(
+        &mut self,
+        source: Loc,
+        target: Loc,
+        relation: Assertion,
+        kind: TransitionKind,
+    ) {
         let id = self.transitions.len();
         self.transitions.push(Transition { id, source, target, relation, kind });
     }
@@ -317,14 +318,7 @@ pub fn lower(program: &Program) -> Result<TransitionSystem, LowerError> {
         builder.frame_all(),
         TransitionKind::TerminalSelfLoop,
     );
-    Ok(TransitionSystem::new(
-        vars,
-        builder.loc_names,
-        init,
-        theta,
-        terminal,
-        builder.transitions,
-    ))
+    Ok(TransitionSystem::new(vars, builder.loc_names, init, theta, terminal, builder.transitions))
 }
 
 #[cfg(test)]
@@ -369,9 +363,7 @@ mod tests {
         // Unassigned variables are unconstrained.
         let ts2 = lower(&parse_program("n := 5; while x >= 0 do x := x - n; od").unwrap()).unwrap();
         let n = ts2.vars().lookup("n").unwrap();
-        assert!(ts2
-            .init_assertion()
-            .holds_int(&|v| if v == n { int(5) } else { int(-1234) }));
+        assert!(ts2.init_assertion().holds_int(&|v| if v == n { int(5) } else { int(-1234) }));
     }
 
     #[test]
@@ -380,7 +372,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, LowerError::PreambleDependency { .. }));
         // Referencing an already-assigned variable is fine.
-        assert!(lower(&parse_program("y := 0; x := y + 1; while x >= 0 do skip; od").unwrap()).is_ok());
+        assert!(
+            lower(&parse_program("y := 0; x := y + 1; while x >= 0 do skip; od").unwrap()).is_ok()
+        );
     }
 
     #[test]
@@ -389,16 +383,12 @@ mod tests {
         // entering-the-body transitions.
         let ts = lower(&parse_program("while x != 0 do x := x - 1; od").unwrap()).unwrap();
         let head = ts.init_loc();
-        let body_edges: Vec<_> = ts
-            .transitions_from(head)
-            .filter(|t| t.target != ts.terminal_loc())
-            .collect();
+        let body_edges: Vec<_> =
+            ts.transitions_from(head).filter(|t| t.target != ts.terminal_loc()).collect();
         assert_eq!(body_edges.len(), 2);
         // The exit edge carries the negation x == 0 (a single disjunct).
-        let exit_edges: Vec<_> = ts
-            .transitions_from(head)
-            .filter(|t| t.target == ts.terminal_loc())
-            .collect();
+        let exit_edges: Vec<_> =
+            ts.transitions_from(head).filter(|t| t.target == ts.terminal_loc()).collect();
         assert_eq!(exit_edges.len(), 1);
     }
 
@@ -407,14 +397,9 @@ mod tests {
         let ts = lower(&parse_program("while x >= 9 do x := x + 1; od").unwrap()).unwrap();
         let head = ts.init_loc();
         // Guard transition (x >= 9) keeps x unchanged.
-        let guard = ts
-            .transitions_from(head)
-            .find(|t| t.target != ts.terminal_loc())
-            .unwrap();
+        let guard = ts.transitions_from(head).find(|t| t.target != ts.terminal_loc()).unwrap();
         let holds = |x: i64, xp: i64| {
-            guard
-                .relation
-                .holds_int(&|v| if v == Var(0) { int(x) } else { int(xp) })
+            guard.relation.holds_int(&|v| if v == Var(0) { int(x) } else { int(xp) })
         };
         assert!(holds(9, 9));
         assert!(!holds(8, 8));
@@ -426,9 +411,7 @@ mod tests {
             .find(|t| matches!(t.kind, TransitionKind::Assign { .. }))
             .unwrap();
         let holds = |x: i64, xp: i64| {
-            assign
-                .relation
-                .holds_int(&|v| if v == Var(0) { int(x) } else { int(xp) })
+            assign.relation.holds_int(&|v| if v == Var(0) { int(x) } else { int(xp) })
         };
         assert!(holds(3, 4));
         assert!(!holds(3, 3));
@@ -477,11 +460,7 @@ mod tests {
     #[test]
     fn expr_and_bool_conversion() {
         let vars = VarTable::new(vec!["x".into(), "y".into()]);
-        let e = Expr::Bin(
-            BinOp::Mul,
-            Box::new(Expr::int(10)),
-            Box::new(Expr::var("x")),
-        );
+        let e = Expr::Bin(BinOp::Mul, Box::new(Expr::int(10)), Box::new(Expr::var("x")));
         let p = expr_to_poly(&e, &vars);
         assert_eq!(p.eval(&|_| revterm_num::rat(3)), revterm_num::rat(30));
 

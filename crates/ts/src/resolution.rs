@@ -15,7 +15,7 @@ use std::fmt;
 /// *proper* under-approximation: every configuration that has a successor in
 /// `T` still has at least one successor in the restricted system, because the
 /// polynomial assignment always produces exactly one successor.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Resolution {
     assignments: BTreeMap<usize, Poly>,
 }
@@ -29,9 +29,7 @@ impl Resolution {
 
     /// Creates a resolution from `(transition id, polynomial)` pairs.
     pub fn from_pairs<I: IntoIterator<Item = (usize, Poly)>>(pairs: I) -> Resolution {
-        Resolution {
-            assignments: pairs.into_iter().collect(),
-        }
+        Resolution { assignments: pairs.into_iter().collect() }
     }
 
     /// Sets the polynomial for a transition.
@@ -98,11 +96,8 @@ impl fmt::Display for Resolution {
         if self.assignments.is_empty() {
             return write!(f, "trivial resolution");
         }
-        let parts: Vec<String> = self
-            .assignments
-            .iter()
-            .map(|(id, p)| format!("t{} := {}", id, p))
-            .collect();
+        let parts: Vec<String> =
+            self.assignments.iter().map(|(id, p)| format!("t{} := {}", id, p)).collect();
         write!(f, "{}", parts.join("; "))
     }
 }
@@ -227,12 +222,7 @@ mod tests {
     fn restrict_rejects_non_ndet_targets() {
         let ts = lower(&parse_program(RUNNING).unwrap()).unwrap();
         // Transition 0 is not a non-deterministic assignment.
-        let bad_id = ts
-            .transitions()
-            .iter()
-            .find(|t| !t.is_ndet_assign())
-            .unwrap()
-            .id;
+        let bad_id = ts.transitions().iter().find(|t| !t.is_ndet_assign()).unwrap().id;
         let r = Resolution::from_pairs([(bad_id, Poly::constant_i64(0))]);
         let _ = ts.restrict(&r);
     }

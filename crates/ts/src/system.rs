@@ -104,14 +104,7 @@ impl TransitionSystem {
             assert_eq!(t.id, i, "transition ids must be consecutive");
             assert!(t.source.0 < n && t.target.0 < n, "transition location out of range");
         }
-        TransitionSystem {
-            vars,
-            loc_names,
-            init_loc,
-            init_assertion,
-            terminal_loc,
-            transitions,
-        }
+        TransitionSystem { vars, loc_names, init_loc, init_assertion, terminal_loc, transitions }
     }
 
     /// The program variables.
@@ -276,8 +269,7 @@ mod tests {
         let x = Poly::var(vars.unprimed(0));
         let xp = Poly::var(vars.primed(0));
         let inc = Assertion::eq_zero(&xp - &(&x + &Poly::one()));
-        let exit = Assertion::from_polys([-(x.clone()), xp.clone() - x.clone(), x - xp])
-            ;
+        let exit = Assertion::from_polys([-(x.clone()), xp.clone() - x.clone(), x - xp]);
         let idloop = Assertion::eq_zero(Poly::var(vars.primed(0)) - Poly::var(vars.unprimed(0)));
         TransitionSystem::new(
             vars,

@@ -26,10 +26,7 @@ impl VarTable {
     /// Panics if names are duplicated.
     pub fn new(names: Vec<String>) -> VarTable {
         for (i, n) in names.iter().enumerate() {
-            assert!(
-                !names[..i].contains(n),
-                "duplicate program variable name '{n}'"
-            );
+            assert!(!names[..i].contains(n), "duplicate program variable name '{n}'");
         }
         VarTable { names }
     }

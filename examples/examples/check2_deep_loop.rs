@@ -9,7 +9,6 @@
 
 use revterm::{CheckKind, ProverConfig};
 use revterm_examples::{build, prove_and_report};
-use revterm_invgen::TemplateParams;
 
 fn main() {
     // The scaled-down Fig. 2 instance (bound 3) used throughout the tests;
@@ -33,11 +32,7 @@ fn main() {
     // Check 2 succeeds: Θ = Ĩ(ℓ_out) bounds the terminal valuations, the
     // backward invariant excludes the configurations that are about to enter
     // the inner infinite loop, and the safety prover reaches one of them.
-    let config = ProverConfig {
-        check: CheckKind::Check2,
-        params: TemplateParams::new(3, 1, 1),
-        ..ProverConfig::default()
-    };
+    let config = ProverConfig::builder().check(CheckKind::Check2).template(3, 1, 1).build();
     let check2 = prove_and_report("fig2/check2", &ts, &[config]);
     assert!(check2.is_non_terminating());
 }

@@ -17,14 +17,17 @@ fn main() {
     println!("program:\n{source}\n");
     let ts = build(source);
     println!("--- transition system ---\n{}", ts.display());
-    println!("--- reversed transition system ---\n{}", ts.reverse(Assertion::tautology()).display());
+    println!(
+        "--- reversed transition system ---\n{}",
+        ts.reverse(Assertion::tautology()).display()
+    );
 
     // Lemma 3.3, checked concretely: collect everything reachable from the
     // initial configuration (n = 0) and confirm that the terminal
     // configuration (ℓ_out, n = 4) is among it — so in the reversed system
     // the initial configuration is reachable from (ℓ_out, 4).
     let init = Config::new(ts.init_loc(), Valuation(vec![Int::zero()]));
-    let reachable = bounded_reach(&ts, &[init.clone()], &[], 50, 1000);
+    let reachable = bounded_reach(&ts, std::slice::from_ref(&init), &[], 50, 1000);
     println!("\nconfigurations reachable from {init}:");
     for cfg in &reachable {
         println!("  {cfg}");

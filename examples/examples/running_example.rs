@@ -6,7 +6,7 @@
 //! cargo run -p revterm-examples --example running_example
 //! ```
 
-use revterm::{ProverConfig, NonTerminationCertificate};
+use revterm::{NonTerminationCertificate, ProverConfig};
 use revterm_examples::{build, prove_and_report};
 use revterm_poly::Poly;
 use revterm_suite::RUNNING_EXAMPLE;

@@ -12,13 +12,15 @@
 //!   configuration diverges under low-degree resolutions and Check 2 is
 //!   required;
 //! * `reversal_explorer` — prints a program's transition system and its
-//!   reversal, and cross-checks Lemma 3.3 on concrete configurations.
+//!   reversal, and cross-checks Lemma 3.3 on concrete configurations;
+//! * `session_sweep` — the session-centric API: a configuration-grid sweep
+//!   through one `ProverSession`, with per-stage cache statistics.
 //!
 //! Run them with `cargo run -p revterm-examples --example <name>`.
 
 #![forbid(unsafe_code)]
 
-use revterm::{prove_with_configs, ProofResult, ProverConfig};
+use revterm::{ProofResult, ProverConfig, ProverSession};
 use revterm_lang::parse_program;
 use revterm_ts::{lower, TransitionSystem};
 
@@ -29,10 +31,15 @@ pub fn build(source: &str) -> TransitionSystem {
     lower(&program).expect("example program must lower")
 }
 
-/// Runs the prover with the given configurations and prints a one-paragraph
-/// report of the outcome.
-pub fn prove_and_report(name: &str, ts: &TransitionSystem, configs: &[ProverConfig]) -> ProofResult {
-    let result = prove_with_configs(ts, configs);
+/// Runs the prover with the given configurations through a one-shot
+/// [`ProverSession`] and prints a one-paragraph report of the outcome.
+pub fn prove_and_report(
+    name: &str,
+    ts: &TransitionSystem,
+    configs: &[ProverConfig],
+) -> ProofResult {
+    let mut session = ProverSession::new(ts.clone());
+    let result = session.prove_first(configs);
     match result.certificate() {
         Some(cert) => {
             println!(

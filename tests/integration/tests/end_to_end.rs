@@ -1,7 +1,7 @@
 //! End-to-end integration tests: parse → lower → prove → validate, across the
 //! benchmark suite.
 
-use revterm::{prove, prove_with_configs, quick_sweep, ProverConfig};
+use revterm::{quick_sweep, ProverConfig, ProverSession};
 use revterm_suite::{curated_benchmarks, Expected};
 
 /// Benchmarks that the default Check 1 configuration is expected to prove
@@ -23,8 +23,7 @@ fn check1_proves_the_easy_no_core() {
     let suite = curated_benchmarks();
     for name in EASY_NO {
         let bench = suite.iter().find(|b| b.name == *name).expect("benchmark exists");
-        let ts = bench.transition_system();
-        let result = prove(&ts, &ProverConfig::default());
+        let result = bench.session().prove(&ProverConfig::default());
         assert!(
             result.is_non_terminating(),
             "{name} should be proved non-terminating by the default Check 1 configuration"
@@ -42,8 +41,7 @@ fn no_terminating_benchmark_is_ever_claimed_non_terminating() {
         if bench.expected != Expected::Terminating {
             continue;
         }
-        let ts = bench.transition_system();
-        let result = prove(&ts, &ProverConfig::default());
+        let result = bench.session().prove(&ProverConfig::default());
         assert!(
             !result.is_non_terminating(),
             "soundness violation on terminating benchmark {}",
@@ -57,8 +55,7 @@ fn quick_sweep_covers_the_paper_examples() {
     let suite = curated_benchmarks();
     for name in ["paper_fig1_running", "paper_fig3_aperiodic", "paper_fig2_small"] {
         let bench = suite.iter().find(|b| b.name == name).unwrap();
-        let ts = bench.transition_system();
-        let result = prove_with_configs(&ts, &quick_sweep());
+        let result = bench.session().prove_first(&quick_sweep());
         assert!(result.is_non_terminating(), "{name} should be proved by the quick sweep");
     }
 }
@@ -71,7 +68,8 @@ fn certificates_of_proved_benchmarks_revalidate() {
     for name in ["paper_fig1_running", "nt_counter_up", "nt_branch_keep"] {
         let bench = suite.iter().find(|b| b.name == name).unwrap();
         let ts = bench.transition_system();
-        let result = prove_with_configs(&ts, &quick_sweep());
+        let mut session = ProverSession::new(ts.clone());
+        let result = session.prove_first(&quick_sweep());
         let cert = result.certificate().unwrap_or_else(|| panic!("{name} should be proved"));
         assert_eq!(
             validate_certificate(&ts, cert, &EntailmentOptions::default()),
@@ -89,6 +87,6 @@ fn nondeterministic_branching_programs_are_handled_end_to_end() {
     // Branching non-determinism is desugared to an assignment, so the system
     // has exactly one non-deterministic transition and Check 1 can resolve it.
     assert_eq!(ts.ndet_transitions().count(), 1);
-    let result = prove(&ts, &ProverConfig::default());
+    let result = ProverSession::new(ts).prove(&ProverConfig::default());
     assert!(result.is_non_terminating());
 }

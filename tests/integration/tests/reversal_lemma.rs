@@ -45,7 +45,7 @@ fn lemma_3_3_reachability_is_symmetric_under_reversal() {
     // Forward: collect everything reachable from (ℓ_init, n = 0) in T.
     let ts = build(COUNTER);
     let init = Config::new(ts.init_loc(), Valuation(vec![int(0)]));
-    let forward = bounded_reach(&ts, &[init.clone()], &[], 50, 500);
+    let forward = bounded_reach(&ts, std::slice::from_ref(&init), &[], 50, 500);
 
     // The reversed system cannot be executed with the structured interpreter
     // (its transitions are unstructured), so we check Lemma 3.3 through the
@@ -91,11 +91,14 @@ fn theorem_3_5_inductiveness_transfers_to_the_complement() {
     let reversed = ts.reverse(Assertion::tautology());
     assert!(is_inductive(&reversed, &map.complement(), &opts, &[]).is_ok());
 
-    // The converse direction: a map that is *not* inductive forward (n >= 1)
-    // has a complement that is not inductive backward either.
+    // The converse direction: a map that is *not* inductive forward.  (Note
+    // `n >= 1` would not do here: the leading `n := 0` is folded into
+    // `Θ_init` by lowering, so `n >= 1` is consecution-inductive for the
+    // loop-only system and merely fails initiation.  `n <= 2` is genuinely
+    // broken by the increment at n = 2.)
     let mut bad = PredicateMap::tautology(ts.num_locs());
     for loc in ts.locations() {
-        bad.set(loc, PropPredicate::from_assertion(Assertion::ge_zero(n.clone() - Poly::one())));
+        bad.set(loc, PropPredicate::from_assertion(Assertion::ge_zero(Poly::constant_i64(2) - &n)));
     }
     assert!(is_inductive(&ts, &bad, &opts, &[]).is_err());
 }
@@ -113,7 +116,11 @@ fn double_reversal_is_identity_on_relations() {
         for (a, b) in ts.transitions().iter().zip(back.transitions()) {
             assert_eq!(a.source, b.source);
             assert_eq!(a.target, b.target);
-            assert_eq!(a.relation, b.relation, "transition t{} changed under double reversal", a.id);
+            assert_eq!(
+                a.relation, b.relation,
+                "transition t{} changed under double reversal",
+                a.id
+            );
         }
     }
 }
