@@ -1,0 +1,242 @@
+//! Profiles the exact-arithmetic hot paths so that changes to `revterm_num`
+//! (and the LP/poly layers above it) can be compared across commits.
+//!
+//! Two workloads are timed and printed as one JSON object:
+//!
+//! * **LP-heavy microloop** — a deterministic family of Farkas-style
+//!   feasibility/optimisation problems solved through
+//!   [`revterm_solver::LpProblem`]. This spends essentially all of its time
+//!   in `Rat`/`Int` arithmetic inside simplex pivoting, so it isolates the
+//!   arithmetic tower from prover logic.
+//! * **Degree-1 sweep** — the paper's running example swept over the
+//!   24-cell degree-1 configuration grid, once with fresh per-configuration
+//!   `prove` calls and once through a warm [`revterm::ProverSession`]
+//!   (mirroring `session_vs_fresh`).
+//!
+//! Both workloads fold their results into an FNV-1a digest
+//! (`lp_digest` / `verdict_digest`). The digests are pure functions of the
+//! computed values, so two builds that print the same digest produced
+//! bitwise-identical LP solutions and prover verdicts — this is how the
+//! "optimisations must not change any verdict" acceptance criterion is
+//! checked across commits.
+//!
+//! ```text
+//! cargo run --release -p revterm-bench --bin num_profile [lp_iters]
+//! ```
+
+use revterm::{degree1_sweep, prove, ProverSession};
+use revterm_num::{rat, Rat};
+use revterm_poly::{LinExpr, Poly, Var};
+use revterm_solver::{entails_with_witness, EntailmentOptions, LpProblem, Rel, VarKind};
+use std::time::Instant;
+
+/// SplitMix64 — the workspace-standard deterministic generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() as i64).rem_euclid(hi - lo)
+    }
+}
+
+/// FNV-1a over a byte stream; used to digest LP solutions and verdicts.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_rat(&mut self, r: &Rat) {
+        self.write(r.to_string().as_bytes());
+        self.write(b"/");
+    }
+}
+
+/// Builds one deterministic Farkas-style LP: a mix of equality rows tying
+/// non-negative multiplier variables together (as `combination_witness`
+/// produces) plus bound rows, with small rational coefficients.
+fn build_lp(rng: &mut Rng, n_vars: usize, n_rows: usize) -> LpProblem {
+    let mut lp = LpProblem::new();
+    for v in 0..n_vars {
+        let kind = if v % 3 == 0 { VarKind::Free } else { VarKind::NonNegative };
+        lp.set_var_kind(Var(v as u32), kind);
+    }
+    for i in 0..n_rows {
+        let mut expr = LinExpr::constant(Rat::new(
+            revterm_num::int(rng.in_range(-6, 7)),
+            revterm_num::int(rng.in_range(1, 4)),
+        ));
+        // 3–5 variables per row keeps the tableau moderately sparse, like the
+        // monomial-matching rows of the entailment encoding.
+        let terms = 3 + (rng.in_range(0, 3) as usize);
+        for _ in 0..terms {
+            let v = rng.in_range(0, n_vars as i64) as u32;
+            let num = rng.in_range(-5, 6);
+            if num != 0 {
+                expr.add_coeff(Var(v), rat(num));
+            }
+        }
+        let rel = match i % 4 {
+            0 => Rel::Eq,
+            1 => Rel::Ge,
+            _ => Rel::Le,
+        };
+        lp.add_constraint(expr, rel);
+    }
+    // Half the problems also minimise a small objective so phase 2 runs.
+    if rng.in_range(0, 2) == 0 {
+        let mut obj = LinExpr::zero();
+        for v in 0..n_vars.min(4) {
+            obj.add_coeff(Var(v as u32), rat(rng.in_range(1, 4)));
+        }
+        lp.set_objective(obj);
+    }
+    lp
+}
+
+/// One Farkas entailment-chain query: premises
+/// `x_{i+1} - x_i - c_i >= 0` for a chain of rational steps `c_i`, plus a few
+/// redundant bound premises, and the conclusion `x_n - x_0 - (Σ c_i - slack)`.
+/// With `slack >= 0` the entailment holds (the LP is feasible and must pivot
+/// through the whole chain to find the multipliers); with `slack < 0` it
+/// fails, exercising the infeasible exit too.
+fn build_chain_query(rng: &mut Rng, n: usize, slack: i64) -> (Vec<Poly>, Poly) {
+    let x = |i: usize| Poly::var(Var(i as u32));
+    let mut premises = Vec::with_capacity(n + 2);
+    let mut total = Rat::zero();
+    for i in 0..n {
+        let step =
+            Rat::new(revterm_num::int(rng.in_range(1, 9)), revterm_num::int(rng.in_range(1, 5)));
+        premises.push(&x(i + 1) - &x(i) - Poly::constant(step.clone()));
+        total = &total + &step;
+    }
+    // Redundant premises enlarge the multiplier space without changing the
+    // verdict, mirroring the over-complete premise sets Houdini produces.
+    premises.push(&x(n) - &x(0));
+    premises.push(&x(n / 2) - &x(0));
+    let bound = &total + &rat(slack);
+    let conclusion = &x(n) - &x(0) - Poly::constant(bound);
+    (premises, conclusion)
+}
+
+fn main() {
+    let lp_iters: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("lp_iters must be a non-negative integer"))
+        .unwrap_or(120);
+
+    // --- LP-heavy microloop -------------------------------------------------
+    // Two deterministic problem families, fixed up front so only the solving
+    // is timed: raw simplex instances, and Farkas entailment chains (the
+    // shape the prover's consecution checks produce).
+    let opts = EntailmentOptions::linear();
+    let mut problems = Vec::new();
+    let mut queries = Vec::new();
+    {
+        let mut rng = Rng(0x5EED_0001);
+        for round in 0..lp_iters {
+            for size in 0..6 {
+                let n_vars = 4 + size;
+                let n_rows = 6 + size + (round % 3);
+                problems.push(build_lp(&mut rng, n_vars, n_rows));
+            }
+            for size in [6, 10, 14] {
+                // Alternate entailed (slack 1) and non-entailed (slack -1).
+                let slack = if round % 2 == 0 { 1 } else { -1 };
+                queries.push(build_chain_query(&mut rng, size, slack));
+            }
+        }
+    }
+    let mut digest = Fnv::new();
+    let mut feasible = 0usize;
+    let lp_start = Instant::now();
+    for lp in &problems {
+        let result = lp.solve();
+        match result.solution() {
+            Some(sol) => {
+                feasible += 1;
+                digest.write(b"opt:");
+                digest.write_rat(sol.objective());
+                for (v, val) in sol.iter() {
+                    digest.write(&v.0.to_le_bytes());
+                    digest.write_rat(val);
+                }
+            }
+            None => digest.write(b"none;"),
+        }
+    }
+    for (premises, conclusion) in &queries {
+        match entails_with_witness(premises, conclusion, &opts) {
+            Some(witness) => {
+                feasible += 1;
+                digest.write(b"yes:");
+                for lambda in &witness {
+                    digest.write_rat(lambda);
+                }
+            }
+            None => digest.write(b"no;"),
+        }
+    }
+    let lp_secs = lp_start.elapsed().as_secs_f64();
+    let lp_digest = digest.0;
+
+    // --- Degree-1 sweep on the running example ------------------------------
+    let suite = revterm_suite::full_suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == "paper_fig1_running")
+        .expect("paper_fig1_running missing from suite");
+    let ts = bench.transition_system();
+    let configs = degree1_sweep();
+
+    let fresh_start = Instant::now();
+    let fresh: Vec<bool> = configs.iter().map(|c| prove(&ts, c).is_non_terminating()).collect();
+    let sweep_fresh_secs = fresh_start.elapsed().as_secs_f64();
+
+    let mut session = ProverSession::new(ts);
+    let session_start = Instant::now();
+    let report = session.sweep(&configs, usize::MAX);
+    let sweep_session_secs = session_start.elapsed().as_secs_f64();
+    let sessioned: Vec<bool> = report.outcomes.iter().map(|o| o.proved).collect();
+
+    let mut vdigest = Fnv::new();
+    for &p in &fresh {
+        vdigest.write(if p { b"1" } else { b"0" });
+    }
+    let verdicts_match = fresh == sessioned;
+
+    println!(
+        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_session_secs\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdicts_match\":{}}}",
+        problems.len() + queries.len(),
+        feasible,
+        lp_secs,
+        lp_digest,
+        bench.name,
+        configs.len(),
+        sweep_fresh_secs,
+        sweep_session_secs,
+        vdigest.0,
+        verdicts_match,
+    );
+
+    if !verdicts_match {
+        eprintln!("FAIL: sessioned verdicts diverged from fresh verdicts");
+        std::process::exit(1);
+    }
+}

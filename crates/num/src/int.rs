@@ -1,12 +1,14 @@
-//! Sign-magnitude arbitrary-precision integers.
+//! Two-tier arbitrary-precision integers: inline `i64` with a sign-magnitude
+//! bignum fallback.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 use std::str::FromStr;
 
-/// Sign of an [`Int`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Sign of an [`Int`]. The derived ordering (`Negative < Zero < Positive`)
+/// matches the numeric one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Sign {
     /// Strictly negative.
     Negative,
@@ -16,14 +18,37 @@ pub enum Sign {
     Positive,
 }
 
+/// Internal representation of an [`Int`].
+///
+/// Canonical-form invariant: every value that fits in an `i64` is stored as
+/// `Small`; `Big` is used **only** for values outside the `i64` range
+/// (`limbs` is little-endian base-2^64, non-empty, without trailing zero
+/// limbs, and `sign` is never [`Sign::Zero`]). Because the representation of
+/// every value is unique, the derived `PartialEq`/`Eq`/`Hash` are
+/// automatically representation-independent.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline machine-word value; covers all of `i64`, allocation-free.
+    Small(i64),
+    /// Heap fallback for values outside the `i64` range.
+    Big {
+        /// Never `Sign::Zero` (zero is `Small(0)`).
+        sign: Sign,
+        /// Little-endian limbs; no trailing zeros; magnitude > `i64` range.
+        limbs: Vec<u64>,
+    },
+}
+
 /// An arbitrary-precision signed integer.
 ///
-/// Internally represented as a sign plus a little-endian vector of base
-/// 2^64 limbs with no trailing zero limbs (canonical form). Zero is
-/// represented by an empty limb vector and [`Sign::Zero`].
+/// Values in the `i64` range are stored inline (no heap allocation); results
+/// that overflow a machine word transparently promote to a sign-magnitude
+/// limb vector, and every operation demotes back to the inline form whenever
+/// its result fits. `Eq`/`Ord`/`Hash` therefore never depend on *how* a value
+/// was computed, only on the value itself.
 ///
 /// Arithmetic is implemented for owned values and references; all operations
-/// allocate as needed and never overflow.
+/// promote as needed and never overflow.
 ///
 /// ```
 /// use revterm_num::Int;
@@ -33,9 +58,7 @@ pub enum Sign {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Int {
-    sign: Sign,
-    /// Little-endian limbs; empty iff the value is zero; no trailing zeros.
-    limbs: Vec<u64>,
+    repr: Repr,
 }
 
 /// Error returned when parsing an [`Int`] from a string fails.
@@ -193,7 +216,8 @@ fn mag_shr(a: &[u64], bits: usize) -> Vec<u64> {
 ///
 /// Correctness over speed: shift–subtract with per-limb batching is more than
 /// fast enough for the coefficient sizes produced by Farkas/Handelman
-/// encodings and Simplex pivoting in this project.
+/// encodings and Simplex pivoting in this project (and the machine-word fast
+/// path short-circuits the common case entirely).
 fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
     assert!(!b.is_empty(), "division by zero");
     if mag_cmp(a, b) == Ordering::Less {
@@ -232,60 +256,159 @@ fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
     (quot, rem)
 }
 
+/// Binary GCD on machine words (always the fast path for two small values).
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+fn flip(sign: Sign) -> Sign {
+    match sign {
+        Sign::Negative => Sign::Positive,
+        Sign::Zero => Sign::Zero,
+        Sign::Positive => Sign::Negative,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Int API
 // ---------------------------------------------------------------------------
 
 impl Int {
+    /// Inline constructor (always canonical: every `i64` is `Small`).
+    const fn small(v: i64) -> Int {
+        Int { repr: Repr::Small(v) }
+    }
+
     /// The integer zero.
-    pub fn zero() -> Self {
-        Int { sign: Sign::Zero, limbs: Vec::new() }
+    pub const fn zero() -> Self {
+        Int::small(0)
     }
 
     /// The integer one.
-    pub fn one() -> Self {
-        Int::from(1_i64)
+    pub const fn one() -> Self {
+        Int::small(1)
     }
 
     /// Returns `true` iff the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` iff the value is one.
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Positive && self.limbs == [1]
+        matches!(self.repr, Repr::Small(1))
+    }
+
+    /// Returns `true` iff the value is stored inline (allocation-free).
+    ///
+    /// This is exactly the case for values in the `i64` range; the canonical
+    /// form invariant guarantees that results of arithmetic demote back to
+    /// the inline form whenever they fit.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Returns the sign of the value.
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => Sign::Negative,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Positive,
+            },
+            Repr::Big { sign, .. } => *sign,
+        }
     }
 
     /// Returns `true` iff the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Negative
+        self.sign() == Sign::Negative
     }
 
     /// Returns `true` iff the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Positive
+        self.sign() == Sign::Positive
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
-        let mut out = self.clone();
-        if out.sign == Sign::Negative {
-            out.sign = Sign::Positive;
+        if self.is_negative() {
+            -self.clone()
+        } else {
+            self.clone()
         }
-        out
     }
 
-    fn from_mag(sign: Sign, limbs: Vec<u64>) -> Int {
-        if limbs.is_empty() {
-            Int::zero()
-        } else {
-            Int { sign, limbs }
+    /// Canonicalizing constructor from a sign and a magnitude: trims the
+    /// limbs and demotes to the inline form when the value fits in an `i64`.
+    fn from_mag(sign: Sign, mut limbs: Vec<u64>) -> Int {
+        mag_trim(&mut limbs);
+        match limbs.len() {
+            0 => Int::zero(),
+            1 => {
+                let m = limbs[0];
+                match sign {
+                    Sign::Positive if m <= i64::MAX as u64 => Int::small(m as i64),
+                    // `m as i64` then wrapping-neg is exact for every
+                    // magnitude up to 2^63 (which maps to `i64::MIN`).
+                    Sign::Negative if m <= 1u64 << 63 => Int::small((m as i64).wrapping_neg()),
+                    Sign::Zero => Int::zero(),
+                    _ => Int { repr: Repr::Big { sign, limbs } },
+                }
+            }
+            _ => Int { repr: Repr::Big { sign, limbs } },
+        }
+    }
+
+    /// One-limb inline magnitude buffer for `Small` values (`[0]` for zero or
+    /// `Big`; callers pair it with [`Int::sign_mag`]).
+    fn small_buf(&self) -> [u64; 1] {
+        match &self.repr {
+            Repr::Small(v) => [v.unsigned_abs()],
+            Repr::Big { .. } => [0],
+        }
+    }
+
+    /// Borrowed sign-magnitude view; `buf` must come from
+    /// [`Int::small_buf`] on the same value.
+    fn sign_mag<'a>(&'a self, buf: &'a [u64; 1]) -> (Sign, &'a [u64]) {
+        match &self.repr {
+            Repr::Small(v) => {
+                let mag: &[u64] = if *v == 0 { &[] } else { &buf[..] };
+                (self.sign(), mag)
+            }
+            Repr::Big { sign, limbs } => (*sign, limbs),
+        }
+    }
+
+    /// Signed addition on sign-magnitude views.
+    fn add_sign_mag(ls: Sign, lm: &[u64], rs: Sign, rm: &[u64]) -> Int {
+        match (ls, rs) {
+            (Sign::Zero, _) => Int::from_mag(rs, rm.to_vec()),
+            (_, Sign::Zero) => Int::from_mag(ls, lm.to_vec()),
+            (a, b) if a == b => Int::from_mag(a, mag_add(lm, rm)),
+            _ => match mag_cmp(lm, rm) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_mag(ls, mag_sub(lm, rm)),
+                Ordering::Less => Int::from_mag(rs, mag_sub(rm, lm)),
+            },
         }
     }
 
@@ -298,28 +421,37 @@ impl Int {
     /// Panics if `other` is zero.
     pub fn div_rem(&self, other: &Int) -> (Int, Int) {
         assert!(!other.is_zero(), "division by zero");
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            // `i64::MIN / -1` overflows `i64`; `i128` covers it exactly.
+            let (a, b) = (*a as i128, *b as i128);
+            return (Int::from(a / b), Int::from(a % b));
+        }
         if self.is_zero() {
             return (Int::zero(), Int::zero());
         }
-        let (q_mag, r_mag) = mag_divrem(&self.limbs, &other.limbs);
-        let q_sign = if q_mag.is_empty() {
-            Sign::Zero
-        } else if self.sign == other.sign {
-            Sign::Positive
-        } else {
-            Sign::Negative
-        };
-        let r_sign = if r_mag.is_empty() { Sign::Zero } else { self.sign };
-        (Int::from_mag(q_sign, q_mag), Int::from_mag(r_sign, r_mag))
+        let (abuf, bbuf) = (self.small_buf(), other.small_buf());
+        let (ls, lm) = self.sign_mag(&abuf);
+        let (rs, rm) = other.sign_mag(&bbuf);
+        let (q_mag, r_mag) = mag_divrem(lm, rm);
+        let q_sign = if ls == rs { Sign::Positive } else { Sign::Negative };
+        (Int::from_mag(q_sign, q_mag), Int::from_mag(ls, r_mag))
     }
 
     /// Greatest common divisor (always non-negative).
     ///
-    /// `gcd(0, 0) == 0`.
+    /// `gcd(0, 0) == 0`. Two inline values use binary GCD on machine words
+    /// and never allocate; mixed operands fall back to Euclid, which drops to
+    /// the machine-word path after the first reduction step.
     pub fn gcd(&self, other: &Int) -> Int {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Int::from(gcd_u64(a.unsigned_abs(), b.unsigned_abs()));
+        }
         let mut a = self.abs();
         let mut b = other.abs();
         while !b.is_zero() {
+            if let (Repr::Small(x), Repr::Small(y)) = (&a.repr, &b.repr) {
+                return Int::from(gcd_u64(x.unsigned_abs(), y.unsigned_abs()));
+            }
             let (_, r) = a.div_rem(&b);
             a = b;
             b = r;
@@ -353,20 +485,24 @@ impl Int {
 
     /// Converts to an `i64` if the value fits.
     pub fn to_i64(&self) -> Option<i64> {
-        self.to_i128().and_then(|v| i64::try_from(v).ok())
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            // Canonical form: `Big` is always outside the `i64` range.
+            Repr::Big { .. } => None,
+        }
     }
 
     /// Converts to an `i128` if the value fits.
     pub fn to_i128(&self) -> Option<i128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => {
-                let mag = self.limbs[0] as i128;
-                Some(if self.sign == Sign::Negative { -mag } else { mag })
-            }
-            2 => {
-                let mag = ((self.limbs[1] as u128) << 64) | self.limbs[0] as u128;
-                match self.sign {
+        match &self.repr {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Big { sign, limbs } => {
+                let mag = match limbs.len() {
+                    1 => limbs[0] as u128,
+                    2 => ((limbs[1] as u128) << 64) | limbs[0] as u128,
+                    _ => return None,
+                };
+                match sign {
                     Sign::Negative => {
                         if mag <= (1u128 << 127) {
                             Some((mag as i128).wrapping_neg())
@@ -377,26 +513,33 @@ impl Int {
                     _ => i128::try_from(mag).ok(),
                 }
             }
-            _ => None,
         }
     }
 
     /// Lossy conversion to `f64` (used only for reporting, never for logic).
     pub fn to_f64(&self) -> f64 {
-        let mut acc = 0.0_f64;
-        for &limb in self.limbs.iter().rev() {
-            acc = acc * 1.8446744073709552e19 + limb as f64;
-        }
-        if self.sign == Sign::Negative {
-            -acc
-        } else {
-            acc
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Big { sign, limbs } => {
+                let mut acc = 0.0_f64;
+                for &limb in limbs.iter().rev() {
+                    acc = acc * 1.8446744073709552e19 + limb as f64;
+                }
+                if *sign == Sign::Negative {
+                    -acc
+                } else {
+                    acc
+                }
+            }
         }
     }
 
     /// Number of significant bits of the absolute value (zero has 0 bits).
     pub fn bits(&self) -> usize {
-        mag_bits(&self.limbs)
+        match &self.repr {
+            Repr::Small(v) => (64 - v.unsigned_abs().leading_zeros()) as usize,
+            Repr::Big { limbs, .. } => mag_bits(limbs),
+        }
     }
 }
 
@@ -408,23 +551,23 @@ impl Default for Int {
 
 impl From<i64> for Int {
     fn from(v: i64) -> Self {
-        Int::from(v as i128)
+        Int::small(v)
     }
 }
 
 impl From<u64> for Int {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            Int::zero()
+        if v <= i64::MAX as u64 {
+            Int::small(v as i64)
         } else {
-            Int { sign: Sign::Positive, limbs: vec![v] }
+            Int { repr: Repr::Big { sign: Sign::Positive, limbs: vec![v] } }
         }
     }
 }
 
 impl From<i32> for Int {
     fn from(v: i32) -> Self {
-        Int::from(v as i128)
+        Int::small(v as i64)
     }
 }
 
@@ -436,8 +579,8 @@ impl From<usize> for Int {
 
 impl From<i128> for Int {
     fn from(v: i128) -> Self {
-        if v == 0 {
-            return Int::zero();
+        if let Ok(small) = i64::try_from(v) {
+            return Int::small(small);
         }
         let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
         let mag = v.unsigned_abs();
@@ -445,7 +588,7 @@ impl From<i128> for Int {
         let hi = (mag >> 64) as u64;
         let mut limbs = vec![lo, hi];
         mag_trim(&mut limbs);
-        Int { sign, limbs }
+        Int { repr: Repr::Big { sign, limbs } }
     }
 }
 
@@ -461,10 +604,25 @@ impl FromStr for Int {
         if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
             return Err(ParseIntError { msg: s.to_string() });
         }
+        // Fast path: at most 18 digits always fits an i64 (10^18 < 2^63).
+        if digits.len() <= 18 {
+            let acc = chunk_val(digits.as_bytes());
+            return Ok(Int::small(if neg { -acc } else { acc }));
+        }
+        // Slow path: fold 18-digit chunks so the loop does one big-by-small
+        // multiply per chunk instead of one per digit.
+        let bytes = digits.as_bytes();
         let mut acc = Int::zero();
-        let ten = Int::from(10_i64);
-        for b in digits.bytes() {
-            acc = &acc * &ten + Int::from((b - b'0') as i64);
+        let mut pos = 0usize;
+        let head = bytes.len() % 18;
+        if head > 0 {
+            acc = Int::from(chunk_val(&bytes[..head]));
+            pos = head;
+        }
+        let chunk_base = Int::from(1_000_000_000_000_000_000_i64); // 10^18
+        while pos < bytes.len() {
+            acc = &acc * &chunk_base + Int::from(chunk_val(&bytes[pos..pos + 18]));
+            pos += 18;
         }
         if neg {
             acc = -acc;
@@ -473,30 +631,41 @@ impl FromStr for Int {
     }
 }
 
+/// Parses up to 18 ASCII digits into an `i64` (callers guarantee the bound).
+fn chunk_val(digits: &[u8]) -> i64 {
+    let mut acc: i64 = 0;
+    for &b in digits {
+        acc = acc * 10 + (b - b'0') as i64;
+    }
+    acc
+}
+
 impl fmt::Display for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
+        match &self.repr {
+            Repr::Small(v) => write!(f, "{}", v),
+            Repr::Big { sign, limbs } => {
+                let mut digits = Vec::new();
+                let mut mag = limbs.clone();
+                let billion = [1_000_000_000_u64];
+                // Extract 9 decimal digits at a time.
+                while !mag.is_empty() {
+                    let (q, r) = mag_divrem(&mag, &billion);
+                    let chunk = if r.is_empty() { 0 } else { r[0] };
+                    digits.push(chunk);
+                    mag = q;
+                }
+                let mut out = String::new();
+                if *sign == Sign::Negative {
+                    out.push('-');
+                }
+                out.push_str(&digits.last().unwrap().to_string());
+                for chunk in digits.iter().rev().skip(1) {
+                    out.push_str(&format!("{:09}", chunk));
+                }
+                write!(f, "{}", out)
+            }
         }
-        let mut digits = Vec::new();
-        let mut mag = self.limbs.clone();
-        let billion = [1_000_000_000_u64];
-        // Extract 9 decimal digits at a time.
-        while !mag.is_empty() {
-            let (q, r) = mag_divrem(&mag, &billion);
-            let chunk = if r.is_empty() { 0 } else { r[0] };
-            digits.push(chunk);
-            mag = q;
-        }
-        let mut out = String::new();
-        if self.sign == Sign::Negative {
-            out.push('-');
-        }
-        out.push_str(&digits.last().unwrap().to_string());
-        for chunk in digits.iter().rev().skip(1) {
-            out.push_str(&format!("{:09}", chunk));
-        }
-        write!(f, "{}", out)
     }
 }
 
@@ -514,19 +683,28 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
-        let rank = |s: Sign| match s {
-            Sign::Negative => 0,
-            Sign::Zero => 1,
-            Sign::Positive => 2,
-        };
-        match rank(self.sign).cmp(&rank(other.sign)) {
-            Ordering::Equal => {}
-            o => return o,
-        }
-        match self.sign {
-            Sign::Zero => Ordering::Equal,
-            Sign::Positive => mag_cmp(&self.limbs, &other.limbs),
-            Sign::Negative => mag_cmp(&other.limbs, &self.limbs),
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical form: a Big value lies strictly outside the i64
+            // range, so its sign alone decides against any Small value.
+            (Repr::Small(_), Repr::Big { sign, .. }) => match sign {
+                Sign::Positive => Ordering::Less,
+                _ => Ordering::Greater,
+            },
+            (Repr::Big { sign, .. }, Repr::Small(_)) => match sign {
+                Sign::Positive => Ordering::Greater,
+                _ => Ordering::Less,
+            },
+            (Repr::Big { sign: s1, limbs: l1 }, Repr::Big { sign: s2, limbs: l2 }) => {
+                match s1.cmp(s2) {
+                    Ordering::Equal => {}
+                    o => return o,
+                }
+                match s1 {
+                    Sign::Positive => mag_cmp(l1, l2),
+                    _ => mag_cmp(l2, l1),
+                }
+            }
         }
     }
 }
@@ -536,37 +714,53 @@ impl Ord for Int {
 impl<'b> Add<&'b Int> for &Int {
     type Output = Int;
     fn add(self, rhs: &'b Int) -> Int {
-        match (self.sign, rhs.sign) {
-            (Sign::Zero, _) => rhs.clone(),
-            (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => Int::from_mag(a, mag_add(&self.limbs, &rhs.limbs)),
-            _ => {
-                // Opposite signs: subtract smaller magnitude from larger.
-                match mag_cmp(&self.limbs, &rhs.limbs) {
-                    Ordering::Equal => Int::zero(),
-                    Ordering::Greater => Int::from_mag(self.sign, mag_sub(&self.limbs, &rhs.limbs)),
-                    Ordering::Less => Int::from_mag(rhs.sign, mag_sub(&rhs.limbs, &self.limbs)),
-                }
-            }
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_add(*b) {
+                Some(s) => Int::small(s),
+                None => Int::from(*a as i128 + *b as i128),
+            };
         }
+        let (abuf, bbuf) = (self.small_buf(), rhs.small_buf());
+        let (ls, lm) = self.sign_mag(&abuf);
+        let (rs, rm) = rhs.sign_mag(&bbuf);
+        Int::add_sign_mag(ls, lm, rs, rm)
     }
 }
 
 impl<'b> Sub<&'b Int> for &Int {
     type Output = Int;
     fn sub(self, rhs: &'b Int) -> Int {
-        self + &(-rhs.clone())
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_sub(*b) {
+                Some(s) => Int::small(s),
+                None => Int::from(*a as i128 - *b as i128),
+            };
+        }
+        let (abuf, bbuf) = (self.small_buf(), rhs.small_buf());
+        let (ls, lm) = self.sign_mag(&abuf);
+        let (rs, rm) = rhs.sign_mag(&bbuf);
+        Int::add_sign_mag(ls, lm, flip(rs), rm)
     }
 }
 
 impl<'b> Mul<&'b Int> for &Int {
     type Output = Int;
     fn mul(self, rhs: &'b Int) -> Int {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_mul(*b) {
+                Some(p) => Int::small(p),
+                // i64 × i64 always fits in i128.
+                None => Int::from(*a as i128 * *b as i128),
+            };
+        }
         if self.is_zero() || rhs.is_zero() {
             return Int::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
-        Int::from_mag(sign, mag_mul(&self.limbs, &rhs.limbs))
+        let (abuf, bbuf) = (self.small_buf(), rhs.small_buf());
+        let (ls, lm) = self.sign_mag(&abuf);
+        let (rs, rm) = rhs.sign_mag(&bbuf);
+        let sign = if ls == rs { Sign::Positive } else { Sign::Negative };
+        Int::from_mag(sign, mag_mul(lm, rm))
     }
 }
 
@@ -615,13 +809,16 @@ forward_binop!(Rem, rem);
 
 impl Neg for Int {
     type Output = Int;
-    fn neg(mut self) -> Int {
-        self.sign = match self.sign {
-            Sign::Negative => Sign::Positive,
-            Sign::Zero => Sign::Zero,
-            Sign::Positive => Sign::Negative,
-        };
-        self
+    fn neg(self) -> Int {
+        match self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => Int::small(n),
+                // -i64::MIN == 2^63 promotes to a single limb.
+                None => Int { repr: Repr::Big { sign: Sign::Positive, limbs: vec![1u64 << 63] } },
+            },
+            // Demotes when the magnitude is exactly 2^63 (-> i64::MIN).
+            Repr::Big { sign, limbs } => Int::from_mag(flip(sign), limbs),
+        }
     }
 }
 
@@ -634,31 +831,54 @@ impl Neg for &Int {
 
 impl AddAssign<&Int> for Int {
     fn add_assign(&mut self, rhs: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                self.repr = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self + rhs;
     }
 }
 
 impl SubAssign<&Int> for Int {
     fn sub_assign(&mut self, rhs: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_sub(*b) {
+                self.repr = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self - rhs;
     }
 }
 
 impl MulAssign<&Int> for Int {
     fn mul_assign(&mut self, rhs: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            if let Some(p) = a.checked_mul(*b) {
+                self.repr = Repr::Small(p);
+                return;
+            }
+        }
         *self = &*self * rhs;
     }
 }
 
 impl std::iter::Sum for Int {
     fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
-        iter.fold(Int::zero(), |a, b| a + b)
+        iter.fold(Int::zero(), |mut a, b| {
+            a += &b;
+            a
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
 
     /// SplitMix64: a tiny deterministic generator for the randomized tests
     /// below (no external crates are available in this workspace).
@@ -690,6 +910,24 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn hash_of(x: &Int) -> u64 {
+        let mut h = DefaultHasher::new();
+        x.hash(&mut h);
+        h.finish()
+    }
+
+    /// Checks the canonical-form invariant: inline iff the value fits in i64.
+    fn assert_canonical(x: &Int) {
+        if let Repr::Big { sign, limbs } = &x.repr {
+            assert!(!limbs.is_empty() && *limbs.last().unwrap() != 0, "non-canonical limbs");
+            assert!(*sign != Sign::Zero, "Big with Sign::Zero");
+            // Big must be outside the i64 range.
+            if let Some(v) = x.to_i128() {
+                assert!(i64::try_from(v).is_err(), "Big holds i64 value {v}");
+            }
+        }
+    }
+
     #[test]
     fn zero_and_one() {
         assert!(Int::zero().is_zero());
@@ -697,12 +935,14 @@ mod tests {
         assert_eq!(Int::zero().to_string(), "0");
         assert_eq!(Int::default(), Int::zero());
         assert_eq!(Int::zero().sign(), Sign::Zero);
+        assert!(Int::zero().is_inline());
     }
 
     #[test]
     fn from_and_display_roundtrip_small() {
-        for v in [-1000_i64, -37, -1, 0, 1, 5, 64, 1 << 40, i64::MAX, i64::MIN + 1] {
+        for v in [-1000_i64, -37, -1, 0, 1, 5, 64, 1 << 40, i64::MAX, i64::MIN + 1, i64::MIN] {
             assert_eq!(Int::from(v).to_string(), v.to_string());
+            assert!(Int::from(v).is_inline());
         }
     }
 
@@ -792,6 +1032,18 @@ mod tests {
     }
 
     #[test]
+    fn gcd_mixed_representations() {
+        // gcd of a Big and a Small drops to the machine-word path.
+        let two_pow_100 = Int::from(2_i64).pow(100);
+        assert_eq!(two_pow_100.gcd(&Int::from(96_i64)), Int::from(32_i64));
+        assert_eq!(Int::from(96_i64).gcd(&two_pow_100), Int::from(32_i64));
+        // gcd involving i64::MIN magnitude (2^63) stays correct.
+        let min = Int::from(i64::MIN);
+        assert_eq!(min.gcd(&Int::zero()).to_string(), "9223372036854775808");
+        assert_eq!(min.gcd(&Int::from(3_i64)), Int::one());
+    }
+
+    #[test]
     fn pow() {
         assert_eq!(Int::from(2_i64).pow(10), Int::from(1024_i64));
         assert_eq!(Int::from(10_i64).pow(0), Int::one());
@@ -835,6 +1087,137 @@ mod tests {
         assert_eq!(Int::from(255_i64).bits(), 8);
         assert_eq!(Int::from(256_i64).bits(), 9);
         assert_eq!(Int::from(2_i64).pow(130).bits(), 131);
+        assert_eq!(Int::from(i64::MIN).bits(), 64);
+    }
+
+    // -----------------------------------------------------------------------
+    // Promotion / demotion edges of the two-tier representation.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn i64_min_edge() {
+        let min = Int::from(i64::MIN);
+        assert!(min.is_inline());
+        assert_eq!(min.to_i64(), Some(i64::MIN));
+        // Negating i64::MIN promotes to a single-limb Big of magnitude 2^63.
+        let negated = -min.clone();
+        assert!(!negated.is_inline());
+        assert_eq!(negated.to_string(), "9223372036854775808");
+        assert_eq!(negated.to_i64(), None);
+        assert_canonical(&negated);
+        // Negating back demotes to the inline form and compares/hashes equal.
+        let back = -negated.clone();
+        assert!(back.is_inline());
+        assert_eq!(back, min);
+        assert_eq!(hash_of(&back), hash_of(&min));
+        // abs() of i64::MIN also promotes.
+        assert_eq!(min.abs(), negated);
+        // div_rem at the overflow corner: i64::MIN / -1 == 2^63 (promotes).
+        let (q, r) = min.div_rem(&Int::from(-1_i64));
+        assert_eq!(q, negated);
+        assert_eq!(r, Int::zero());
+        // Subtraction that lands exactly on i64::MIN stays inline.
+        let edge = Int::from(i64::MIN + 1) - Int::one();
+        assert!(edge.is_inline());
+        assert_eq!(edge, min);
+    }
+
+    #[test]
+    fn u64_limb_boundary() {
+        // 2^63 - 1 (i64::MAX) is the largest inline positive value.
+        let max = Int::from(i64::MAX);
+        assert!(max.is_inline());
+        // 2^63 promotes; 2^64 - 1 is the largest single-limb magnitude;
+        // 2^64 needs two limbs. All must agree with string parsing.
+        let p63 = &max + Int::one();
+        assert!(!p63.is_inline());
+        assert_eq!(p63, big("9223372036854775808"));
+        assert_canonical(&p63);
+        let umax = Int::from(u64::MAX);
+        assert!(!umax.is_inline());
+        assert_eq!(umax, big("18446744073709551615"));
+        assert_canonical(&umax);
+        let p64 = &umax + Int::one();
+        assert_eq!(p64, big("18446744073709551616"));
+        assert_eq!(p64.bits(), 65);
+        assert_canonical(&p64);
+        // Computing 2^64 a second way (via pow) is Eq/Hash/Ord-identical.
+        let p64_pow = Int::from(2_i64).pow(64);
+        assert_eq!(p64, p64_pow);
+        assert_eq!(hash_of(&p64), hash_of(&p64_pow));
+        assert_eq!(p64.cmp(&p64_pow), Ordering::Equal);
+        // Ordering across the boundary.
+        assert!(max < p63 && p63 < umax && umax < p64);
+        assert!(-&p64 < -&umax && -&umax < Int::from(i64::MIN));
+    }
+
+    #[test]
+    fn add_mul_overflow_roundtrips() {
+        let mut rng = Rng(42);
+        for _ in 0..512 {
+            let a = rng.i64_any();
+            let b = rng.i64_any();
+            // Addition promotes iff i64 overflows; subtracting back demotes.
+            let sum = Int::from(a) + Int::from(b);
+            assert_eq!(sum, Int::from(a as i128 + b as i128));
+            assert_eq!(sum.is_inline(), a.checked_add(b).is_some());
+            assert_canonical(&sum);
+            let back = &sum - &Int::from(b);
+            assert!(back.is_inline(), "demotion failed for {a} + {b} - {b}");
+            assert_eq!(back, Int::from(a));
+            assert_eq!(hash_of(&back), hash_of(&Int::from(a)));
+            // Multiplication promotes iff i64 overflows; division demotes.
+            let prod = Int::from(a) * Int::from(b);
+            assert_eq!(prod, Int::from(a as i128 * b as i128));
+            assert_eq!(prod.is_inline(), a.checked_mul(b).is_some());
+            assert_canonical(&prod);
+            if b != 0 {
+                let back = &prod / &Int::from(b);
+                assert!(back.is_inline());
+                assert_eq!(back, Int::from(a));
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_promoted_representations_agree() {
+        // A value computed entirely inline and the same value that round-trips
+        // through the Big representation must be indistinguishable to
+        // Eq/Hash/Ord — the canonical form makes the representations unique.
+        let mut rng = Rng(43);
+        let offset = Int::from(2_i64).pow(100);
+        for _ in 0..512 {
+            let v = rng.i64_any();
+            let direct = Int::from(v);
+            let promoted = &(&direct + &offset) - &offset;
+            assert!(promoted.is_inline(), "round-trip through Big failed to demote for {v}");
+            assert_eq!(promoted, direct);
+            assert_eq!(hash_of(&promoted), hash_of(&direct));
+            assert_eq!(promoted.cmp(&direct), Ordering::Equal);
+            // Ordering against an unrelated value is consistent either way.
+            let w = Int::from(rng.i64_any());
+            assert_eq!(promoted.cmp(&w), direct.cmp(&w));
+            assert_canonical(&promoted);
+        }
+    }
+
+    #[test]
+    fn assign_ops_match_binops() {
+        let mut rng = Rng(44);
+        for _ in 0..256 {
+            let a = rng.i64_any();
+            let b = rng.i64_any();
+            let (ia, ib) = (Int::from(a), Int::from(b));
+            let mut x = ia.clone();
+            x += &ib;
+            assert_eq!(x, &ia + &ib);
+            let mut x = ia.clone();
+            x -= &ib;
+            assert_eq!(x, &ia - &ib);
+            let mut x = ia.clone();
+            x *= &ib;
+            assert_eq!(x, &ia * &ib);
+        }
     }
 
     #[test]

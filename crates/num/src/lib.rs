@@ -7,10 +7,47 @@
 //!
 //! The crate provides two types:
 //!
-//! * [`Int`] — a sign-magnitude arbitrary-precision integer backed by base
-//!   2^64 limbs.
+//! * [`Int`] — an arbitrary-precision integer with a **two-tier
+//!   representation**: values in the `i64` range are stored inline, values
+//!   outside it fall back to a sign-magnitude base-2^64 limb vector.
 //! * [`Rat`] — an exact rational number (a reduced fraction of two [`Int`]s
 //!   with a strictly positive denominator).
+//!
+//! # Two-tier representation and canonical form
+//!
+//! The coefficients produced by this project's Farkas/Handelman encodings
+//! and Simplex pivots are overwhelmingly machine-word sized, so every
+//! [`Int`] operation takes a checked `i64` fast path first and only promotes
+//! to limbs when the machine word overflows. The **canonical-form
+//! invariant** makes the tiering invisible:
+//!
+//! * every value that fits in an `i64` is stored inline — results demote
+//!   back to the inline form whenever they fit (e.g. `-(-2^63)` after a
+//!   promotion, or a big subtraction landing in range);
+//! * the limb fallback is used *only* for values outside the `i64` range,
+//!   with no trailing zero limbs.
+//!
+//! Each value therefore has exactly one representation, and `Eq`, `Ord` and
+//! `Hash` never depend on how a value was computed. [`Int::is_inline`]
+//! reports which tier a value is in.
+//!
+//! **Allocation-free operations** (on inline values): construction from
+//! machine integers, `+`, `-`, `*`, the `*Assign` forms, `/`, `%`,
+//! [`Int::div_rem`], [`Int::gcd`] (binary GCD on machine words),
+//! comparisons, hashing, [`Int::sign`], [`Int::abs`] and negation (except at
+//! the `i64::MIN` corner, which promotes to a single limb), and parsing of
+//! literals with at most 18 digits. Only promotion, limb arithmetic and
+//! `Display` of promoted values allocate.
+//!
+//! [`Rat`] keeps the classic invariants (strictly positive denominator,
+//! `gcd(num, den) == 1`, zero as `0/1` — see [`Rat::new`] and
+//! [`Rat::checked_new`] for the zero-denominator contract) but avoids the
+//! full re-reduction gcd wherever the invariants already decide it:
+//! same-denominator addition reduces with a single gcd, integer operands
+//! need no gcd at all, general addition uses the gcd-of-denominators
+//! decomposition, multiplication cross-reduces before multiplying, and
+//! reciprocal/negation/absolute-value are gcd-free. Comparisons short-cut
+//! on signs and equal denominators before cross-multiplying.
 //!
 //! # Examples
 //!

@@ -39,25 +39,62 @@ impl fmt::Display for ParseRatError {
 impl std::error::Error for ParseRatError {}
 
 impl Rat {
+    /// Unchecked constructor: the pair must already be canonical (`den`
+    /// strictly positive, `gcd(num, den) == 1`, zero as `0/1`). Every fast
+    /// path below goes through this, so the debug assertion is the single
+    /// place where the invariant is re-checked in test builds.
+    fn raw(num: Int, den: Int) -> Rat {
+        debug_assert!(den.is_positive(), "raw rational with non-positive denominator");
+        debug_assert!(
+            if num.is_zero() { den.is_one() } else { num.gcd(&den).is_one() },
+            "raw rational not reduced: {num}/{den}"
+        );
+        Rat { num, den }
+    }
+
     /// Creates a new rational from a numerator and denominator, reducing to
     /// canonical form.
     ///
     /// # Panics
     ///
-    /// Panics if `den` is zero.
+    /// Panics with `"rational with zero denominator"` if `den` is zero — a
+    /// zero denominator is **always** a caller bug in this workspace (LP
+    /// pivots divide by explicitly non-zero pivots, and parsers reject `x/0`
+    /// before constructing). Use [`Rat::checked_new`] when the denominator
+    /// is not statically known to be non-zero.
     pub fn new(num: Int, den: Int) -> Rat {
-        assert!(!den.is_zero(), "rational with zero denominator");
-        let mut num = num;
-        let mut den = den;
+        Rat::checked_new(num, den).expect("rational with zero denominator")
+    }
+
+    /// Creates a new rational, reducing to canonical form, or returns `None`
+    /// if `den` is zero (the non-panicking form of [`Rat::new`]).
+    ///
+    /// ```
+    /// use revterm_num::{Int, Rat};
+    /// assert!(Rat::checked_new(Int::one(), Int::zero()).is_none());
+    /// assert_eq!(Rat::checked_new(Int::from(2), Int::from(4)), Some("1/2".parse().unwrap()));
+    /// ```
+    pub fn checked_new(num: Int, den: Int) -> Option<Rat> {
+        if den.is_zero() {
+            return None;
+        }
+        let (mut num, mut den) = (num, den);
         if den.is_negative() {
             num = -num;
             den = -den;
         }
         if num.is_zero() {
-            return Rat { num: Int::zero(), den: Int::one() };
+            return Some(Rat::raw(Int::zero(), Int::one()));
+        }
+        if den.is_one() {
+            return Some(Rat::raw(num, den));
         }
         let g = num.gcd(&den);
-        Rat { num: &num / &g, den: &den / &g }
+        if g.is_one() {
+            Some(Rat::raw(num, den))
+        } else {
+            Some(Rat::raw(&num / &g, &den / &g))
+        }
     }
 
     /// The rational zero.
@@ -112,17 +149,24 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat::raw(self.num.abs(), self.den.clone())
     }
 
     /// Multiplicative inverse.
+    ///
+    /// Allocation- and gcd-free: the canonical form is preserved by swapping
+    /// numerator and denominator (fixing signs).
     ///
     /// # Panics
     ///
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rat {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rat::new(self.den.clone(), self.num.clone())
+        if self.num.is_negative() {
+            Rat::raw(-self.den.clone(), -self.num.clone())
+        } else {
+            Rat::raw(self.den.clone(), self.num.clone())
+        }
     }
 
     /// Largest integer `<=` the value.
@@ -145,9 +189,66 @@ impl Rat {
         self.num.div_rem(&self.den).0
     }
 
-    /// Raises to a non-negative integer power.
+    /// Raises to a non-negative integer power (gcd-free: coprimality is
+    /// preserved by powering).
     pub fn pow(&self, exp: u32) -> Rat {
-        Rat { num: self.num.pow(exp), den: self.den.pow(exp) }
+        Rat::raw(self.num.pow(exp), self.den.pow(exp))
+    }
+
+    /// Shared implementation of addition/subtraction: computes
+    /// `self + rhs_num/rhs_den` where the right-hand pair is canonical.
+    ///
+    /// Avoids the naive "cross-multiply then full bigint gcd" on every call:
+    /// same-denominator and integer operands reduce with at most one gcd of
+    /// small arguments, and the general case uses the gcd-of-denominators
+    /// decomposition (Knuth 4.5.1), whose gcds run on much smaller values.
+    fn add_parts(&self, c: &Int, d: &Int) -> Rat {
+        let (a, b) = (&self.num, &self.den);
+        if c.is_zero() {
+            return self.clone();
+        }
+        if a.is_zero() {
+            return Rat::raw(c.clone(), d.clone());
+        }
+        if b == d {
+            // a/d + c/d = (a+c)/d, reduced by gcd(a+c, d) only.
+            let t = a + c;
+            if t.is_zero() {
+                return Rat::zero();
+            }
+            if b.is_one() {
+                return Rat::raw(t, Int::one());
+            }
+            let g = t.gcd(b);
+            if g.is_one() {
+                return Rat::raw(t, b.clone());
+            }
+            return Rat::raw(&t / &g, b / &g);
+        }
+        if b.is_one() {
+            // a + c/d = (a*d + c)/d; gcd(a*d + c, d) = gcd(c, d) = 1.
+            return Rat::raw(a * d + c, d.clone());
+        }
+        if d.is_one() {
+            return Rat::raw(a + &(c * b), b.clone());
+        }
+        let g1 = b.gcd(d);
+        if g1.is_one() {
+            // Coprime denominators: the cross-multiplied form is already
+            // reduced, no gcd of the (larger) numerator needed.
+            return Rat::raw(a * d + &(c * b), b * d);
+        }
+        let b1 = b / &g1;
+        let d1 = d / &g1;
+        let t = a * &d1 + &(c * &b1);
+        if t.is_zero() {
+            return Rat::zero();
+        }
+        let g2 = t.gcd(&g1);
+        if g2.is_one() {
+            return Rat::raw(t, &b1 * d);
+        }
+        Rat::raw(&t / &g2, &b1 * &(d / &g2))
     }
 
     /// Lossy conversion to `f64` (reporting only).
@@ -191,7 +292,7 @@ impl Default for Rat {
 
 impl From<Int> for Rat {
     fn from(v: Int) -> Self {
-        Rat { num: v, den: Int::one() }
+        Rat::raw(v, Int::one())
     }
 }
 
@@ -253,6 +354,16 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Sign comparison is free and settles most queries in the solver's
+        // pivoting loops without any multiplication.
+        match self.num.sign().cmp(&other.num.sign()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        // Equal denominators (common for slack/rhs comparisons): fraction-free.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
@@ -261,21 +372,37 @@ impl Ord for Rat {
 impl<'b> Add<&'b Rat> for &Rat {
     type Output = Rat;
     fn add(self, rhs: &'b Rat) -> Rat {
-        Rat::new(&self.num * &rhs.den + &rhs.num * &self.den, &self.den * &rhs.den)
+        self.add_parts(&rhs.num, &rhs.den)
     }
 }
 
 impl<'b> Sub<&'b Rat> for &Rat {
     type Output = Rat;
     fn sub(self, rhs: &'b Rat) -> Rat {
-        Rat::new(&self.num * &rhs.den - &rhs.num * &self.den, &self.den * &rhs.den)
+        // Negating a canonical numerator keeps the pair canonical.
+        self.add_parts(&-rhs.num.clone(), &rhs.den)
     }
 }
 
 impl<'b> Mul<&'b Rat> for &Rat {
     type Output = Rat;
     fn mul(self, rhs: &'b Rat) -> Rat {
-        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+        if self.is_zero() || rhs.is_zero() {
+            return Rat::zero();
+        }
+        let (a, b) = (&self.num, &self.den);
+        let (c, d) = (&rhs.num, &rhs.den);
+        if b.is_one() && d.is_one() {
+            return Rat::raw(a * c, Int::one());
+        }
+        // Cross-reduction: gcd(a,d) and gcd(c,b) are all the reduction the
+        // product needs (the operands are canonical), and they run on the
+        // small pre-product operands instead of the big post-product ones.
+        let g1 = if d.is_one() { Int::one() } else { a.gcd(d) };
+        let g2 = if b.is_one() { Int::one() } else { c.gcd(b) };
+        let num = &(a / &g1) * &(c / &g2);
+        let den = &(b / &g2) * &(d / &g1);
+        Rat::raw(num, den)
     }
 }
 
@@ -283,7 +410,21 @@ impl<'b> Div<&'b Rat> for &Rat {
     type Output = Rat;
     fn div(self, rhs: &'b Rat) -> Rat {
         assert!(!rhs.is_zero(), "division by zero rational");
-        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+        if self.is_zero() {
+            return Rat::zero();
+        }
+        let (a, b) = (&self.num, &self.den);
+        let (c, d) = (&rhs.num, &rhs.den);
+        // (a/b) / (c/d) = (a*d)/(b*c), cross-reduced before multiplying.
+        let g1 = a.gcd(c);
+        let g2 = d.gcd(b);
+        let mut num = &(a / &g1) * &(d / &g2);
+        let mut den = &(b / &g2) * &(c / &g1);
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rat::raw(num, den)
     }
 }
 
@@ -388,9 +529,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero denominator")]
+    #[should_panic(expected = "rational with zero denominator")]
     fn zero_denominator_panics() {
         let _ = Rat::new(Int::one(), Int::zero());
+    }
+
+    #[test]
+    fn checked_new_is_the_total_form() {
+        assert_eq!(Rat::checked_new(Int::one(), Int::zero()), None);
+        assert_eq!(Rat::checked_new(Int::zero(), Int::zero()), None);
+        assert_eq!(Rat::checked_new(Int::from(6), Int::from(-8)), Some(r(-3, 4)));
+        assert_eq!(Rat::checked_new(Int::zero(), Int::from(-5)), Some(Rat::zero()));
+        // The canonical zero is 0/1 regardless of the input denominator.
+        let z = Rat::checked_new(Int::zero(), Int::from(7)).unwrap();
+        assert_eq!(z.denom(), &Int::one());
+    }
+
+    /// Reference implementation: cross-multiply and fully re-reduce. The
+    /// optimized operators must agree with it exactly.
+    fn naive_add(x: &Rat, y: &Rat) -> Rat {
+        Rat::new(x.numer() * y.denom() + y.numer() * x.denom(), x.denom() * y.denom())
+    }
+
+    fn naive_mul(x: &Rat, y: &Rat) -> Rat {
+        Rat::new(x.numer() * y.numer(), x.denom() * y.denom())
+    }
+
+    #[test]
+    fn prop_fast_paths_agree_with_naive() {
+        let mut rng = Rng(99);
+        for _ in 0..512 {
+            let x = r(rng.in_range(-2000, 2000), rng.in_range(1, 60));
+            // Bias towards shared denominators and integers so every fast
+            // path (same-den, integer operand, coprime-den, general) is hit.
+            let y = match rng.in_range(0, 4) {
+                0 => Rat::raw(Int::from(rng.in_range(-2000, 2000)), Int::one()),
+                1 => {
+                    // Shares x's denominator: integer + fractional part of x.
+                    let n = rng.in_range(-2000, 2000);
+                    r(n, 1) + (&x - &Rat::from(x.trunc()))
+                }
+                _ => r(rng.in_range(-2000, 2000), rng.in_range(1, 60)),
+            };
+            assert_eq!(&x + &y, naive_add(&x, &y), "add {x} {y}");
+            assert_eq!(&x - &y, naive_add(&x, &(-y.clone())), "sub {x} {y}");
+            assert_eq!(&x * &y, naive_mul(&x, &y), "mul {x} {y}");
+            if !y.is_zero() {
+                assert_eq!(&x / &y, naive_mul(&x, &y.recip()), "div {x} {y}");
+                assert_eq!((&x / &y).cmp(&Rat::zero()), (&x * &y.recip()).cmp(&Rat::zero()));
+            }
+            // cmp must agree with the sign of the exact difference.
+            let expected = match (&x - &y).sign() {
+                Sign::Negative => std::cmp::Ordering::Less,
+                Sign::Zero => std::cmp::Ordering::Equal,
+                Sign::Positive => std::cmp::Ordering::Greater,
+            };
+            assert_eq!(x.cmp(&y), expected, "cmp {x} {y}");
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl LinExpr {
             return;
         }
         let entry = self.coeffs.entry(v).or_insert_with(Rat::zero);
-        *entry = &*entry + &c;
+        *entry += &c;
         if entry.is_zero() {
             self.coeffs.remove(&v);
         }
@@ -69,7 +69,7 @@ impl LinExpr {
 
     /// Adds `c` to the constant part.
     pub fn add_constant(&mut self, c: Rat) {
-        self.constant = &self.constant + &c;
+        self.constant += &c;
     }
 
     /// The coefficient of `v` (zero if absent).
@@ -112,7 +112,7 @@ impl LinExpr {
     pub fn eval(&self, assignment: &dyn Fn(Var) -> Rat) -> Rat {
         let mut acc = self.constant.clone();
         for (v, c) in &self.coeffs {
-            acc = &acc + &(c * &assignment(*v));
+            acc += &(c * &assignment(*v));
         }
         acc
     }
@@ -144,7 +144,12 @@ impl<'b> Add<&'b LinExpr> for &LinExpr {
 impl<'b> Sub<&'b LinExpr> for &LinExpr {
     type Output = LinExpr;
     fn sub(self, rhs: &'b LinExpr) -> LinExpr {
-        self + &(-rhs.clone())
+        let mut out = self.clone();
+        out.constant -= &rhs.constant;
+        for (v, c) in &rhs.coeffs {
+            out.add_coeff(*v, -c.clone());
+        }
+        out
     }
 }
 
@@ -165,14 +170,18 @@ impl Sub<LinExpr> for LinExpr {
 impl Neg for LinExpr {
     type Output = LinExpr;
     fn neg(self) -> LinExpr {
-        self.scale(&-Rat::one())
+        // Negation never needs re-reduction; avoid the multiply of `scale`.
+        LinExpr {
+            constant: -self.constant,
+            coeffs: self.coeffs.into_iter().map(|(v, c)| (v, -c)).collect(),
+        }
     }
 }
 
 impl Neg for &LinExpr {
     type Output = LinExpr;
     fn neg(self) -> LinExpr {
-        self.scale(&-Rat::one())
+        -self.clone()
     }
 }
 

@@ -79,7 +79,7 @@ impl Poly {
             return;
         }
         let entry = self.terms.entry(m.clone()).or_insert_with(Rat::zero);
-        *entry = &*entry + &c;
+        *entry += &c;
         if entry.is_zero() {
             self.terms.remove(&m);
         }
@@ -161,9 +161,9 @@ impl Poly {
         for (m, c) in &self.terms {
             let mut term = c.clone();
             for (v, e) in m.iter() {
-                term = &term * &assignment(v).pow(e);
+                term *= &assignment(v).pow(e);
             }
-            acc = &acc + &term;
+            acc += &term;
         }
         acc
     }
@@ -353,14 +353,15 @@ forward_poly_binop!(Mul, mul);
 impl Neg for Poly {
     type Output = Poly;
     fn neg(self) -> Poly {
-        self.scale(&-Rat::one())
+        // Negation never needs re-reduction; avoid the multiply of `scale`.
+        Poly { terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect() }
     }
 }
 
 impl Neg for &Poly {
     type Output = Poly;
     fn neg(self) -> Poly {
-        self.scale(&-Rat::one())
+        -self.clone()
     }
 }
 

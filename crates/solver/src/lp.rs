@@ -179,9 +179,9 @@ impl LpProblem {
         for (i, (expr, rel)) in self.constraints.iter().enumerate() {
             let mut row = vec![Rat::zero(); structural_cols];
             for (v, c) in expr.coeffs() {
-                row[col_of_pos[v]] = &row[col_of_pos[v]] + c;
+                row[col_of_pos[v]] += c;
                 if let Some(&neg) = col_of_neg.get(v) {
-                    row[neg] = &row[neg] - c;
+                    row[neg] -= c;
                 }
             }
             let b = -expr.constant_part().clone();
@@ -208,9 +208,11 @@ impl LpProblem {
         // Normalise signs so that rhs >= 0.
         for i in 0..m {
             if rhs[i].is_negative() {
-                rhs[i] = -rhs[i].clone();
+                rhs[i] = -std::mem::take(&mut rhs[i]);
                 for c in rows[i].iter_mut() {
-                    *c = -c.clone();
+                    if !c.is_zero() {
+                        *c = -std::mem::take(c);
+                    }
                 }
             }
         }
@@ -255,9 +257,9 @@ impl LpProblem {
         if let Some(obj) = &self.objective {
             let mut cost = vec![Rat::zero(); total_cols];
             for (v, c) in obj.coeffs() {
-                cost[col_of_pos[v]] = &cost[col_of_pos[v]] + c;
+                cost[col_of_pos[v]] += c;
                 if let Some(&neg) = col_of_neg.get(v) {
-                    cost[neg] = &cost[neg] - c;
+                    cost[neg] -= c;
                 }
             }
             if !simplex(&mut rows, &mut rhs, &mut basis, &cost, &banned) {
@@ -298,17 +300,28 @@ fn simplex(
 ) -> bool {
     let m = rows.len();
     let n = cost.len();
+    // Column membership in the basis as a bitmap: the entering-column scan
+    // below runs once per pivot over all n columns, and `basis.contains`
+    // would make it O(n·m) in pure bookkeeping.
+    let mut in_basis = vec![false; n];
+    for &b in basis.iter() {
+        in_basis[b] = true;
+    }
     loop {
+        // Rows whose basic variable has zero cost contribute nothing to any
+        // reduced cost; skipping them up front makes the phase-1 scan (where
+        // most basic variables are zero-cost after a few pivots) cheap.
+        let active_rows: Vec<usize> = (0..m).filter(|&i| !cost[basis[i]].is_zero()).collect();
         // Reduced cost of column j: c_j - Σ_i c_{basis[i]} * rows[i][j].
         let mut entering = None;
         for j in 0..n {
-            if banned[j] || basis.contains(&j) {
+            if banned[j] || in_basis[j] {
                 continue;
             }
             let mut reduced = cost[j].clone();
-            for i in 0..m {
-                if !rows[i][j].is_zero() && !cost[basis[i]].is_zero() {
-                    reduced = &reduced - &(&cost[basis[i]] * &rows[i][j]);
+            for &i in &active_rows {
+                if !rows[i][j].is_zero() {
+                    reduced -= &(&cost[basis[i]] * &rows[i][j]);
                 }
             }
             if reduced.is_negative() {
@@ -344,31 +357,54 @@ fn simplex(
             Some(i) => i,
             None => return false, // unbounded
         };
+        in_basis[basis[leaving]] = false;
+        in_basis[entering] = true;
         pivot(rows, rhs, basis, leaving, entering);
     }
 }
 
 /// Pivots the tableau so that column `col` becomes basic in row `row`.
+///
+/// Clone-free: the pivot row is scaled in place, and every elimination walks
+/// only the non-zero entries of the pivot row (the tableau rows produced by
+/// the Farkas/Handelman encodings are sparse, so this skips most columns).
 fn pivot(rows: &mut [Vec<Rat>], rhs: &mut [Rat], basis: &mut [usize], row: usize, col: usize) {
     let m = rows.len();
-    let pivot_val = rows[row][col].clone();
-    debug_assert!(!pivot_val.is_zero(), "pivot on zero element");
-    let inv = pivot_val.recip();
-    for c in rows[row].iter_mut() {
-        *c = &*c * &inv;
+    debug_assert!(!rows[row][col].is_zero(), "pivot on zero element");
+    let inv = rows[row][col].recip();
+    if !inv.is_one() {
+        for c in rows[row].iter_mut() {
+            if !c.is_zero() {
+                *c *= &inv;
+            }
+        }
+        rhs[row] *= &inv;
     }
-    rhs[row] = &rhs[row] * &inv;
     for i in 0..m {
-        if i == row || rows[i][col].is_zero() {
+        if i == row {
             continue;
         }
-        let factor = rows[i][col].clone();
-        for j in 0..rows[i].len() {
-            let delta = &factor * &rows[row][j];
-            rows[i][j] = &rows[i][j] - &delta;
+        // Taking the factor zeroes rows[i][col], which is exactly the value
+        // elimination assigns to it (rows[row][col] == 1 after scaling).
+        let factor = std::mem::take(&mut rows[i][col]);
+        if factor.is_zero() {
+            continue;
+        }
+        let (pivot_row, target_row) = if i < row {
+            let (lo, hi) = rows.split_at_mut(row);
+            (&hi[0], &mut lo[i])
+        } else {
+            let (lo, hi) = rows.split_at_mut(i);
+            (&lo[row], &mut hi[0])
+        };
+        for (j, p) in pivot_row.iter().enumerate() {
+            if j == col || p.is_zero() {
+                continue;
+            }
+            target_row[j] -= &(&factor * p);
         }
         let delta = &factor * &rhs[row];
-        rhs[i] = &rhs[i] - &delta;
+        rhs[i] -= &delta;
     }
     basis[row] = col;
 }

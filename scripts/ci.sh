@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# The single CI gate for the RevTerm workspace. The GitHub workflow runs
+# exactly this script, so a green local run means a green CI run.
+#
+# Usage:
+#   scripts/ci.sh            # full gate: fmt + clippy + build + test + bench smoke
+#   scripts/ci.sh --no-bench # skip the bench smoke (e.g. on very slow machines)
+#
+# The workspace has zero external crates by design; CARGO_NET_OFFLINE makes
+# any accidental dependency addition fail loudly instead of hitting the
+# network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+run_bench_smoke=true
+for arg in "$@"; do
+    case "$arg" in
+        --no-bench) run_bench_smoke=false ;;
+        *)
+            echo "unknown argument: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if $run_bench_smoke; then
+    # Bench smoke: one cheap benchmark through the session-vs-fresh harness
+    # (~1 s) so every CI run leaves a comparable speedup/verdict JSON
+    # artifact. The harness exits non-zero if verdicts diverge.
+    echo "==> bench smoke (session_vs_fresh nt_counter_up)"
+    mkdir -p target/ci-artifacts
+    cargo run --release -q -p revterm-bench --bin session_vs_fresh nt_counter_up \
+        | tee target/ci-artifacts/bench-smoke.json
+fi
+
+echo "==> CI gate passed"
