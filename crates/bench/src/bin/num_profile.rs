@@ -1,24 +1,31 @@
 //! Profiles the exact-arithmetic hot paths so that changes to `revterm_num`
 //! (and the LP/poly layers above it) can be compared across commits.
 //!
-//! Two workloads are timed and printed as one JSON object:
+//! Two workloads are timed and printed as one JSON object (the field-level
+//! schema is documented in the `revterm_bench` crate docs):
 //!
 //! * **LP-heavy microloop** — a deterministic family of Farkas-style
-//!   feasibility/optimisation problems solved through
+//!   feasibility/optimisation problems and entailment chains solved through
 //!   [`revterm_solver::LpProblem`]. This spends essentially all of its time
 //!   in `Rat`/`Int` arithmetic inside simplex pivoting, so it isolates the
-//!   arithmetic tower from prover logic.
+//!   arithmetic tower from prover logic. The whole workload runs **twice**:
+//!   once through the sparse simplex engine (`solve`) and once through the
+//!   dense reference engine (`solve_dense`), with separate timings and
+//!   digests.
 //! * **Degree-1 sweep** — the paper's running example swept over the
-//!   24-cell degree-1 configuration grid, once with fresh per-configuration
-//!   `prove` calls and once through a warm [`revterm::ProverSession`]
+//!   24-cell degree-1 configuration grid: fresh per-configuration `prove`
+//!   calls through the sparse engine, the same fresh sweep with the
+//!   dense-LP differential knob set, and a warm [`revterm::ProverSession`]
 //!   (mirroring `session_vs_fresh`).
 //!
-//! Both workloads fold their results into an FNV-1a digest
-//! (`lp_digest` / `verdict_digest`). The digests are pure functions of the
-//! computed values, so two builds that print the same digest produced
-//! bitwise-identical LP solutions and prover verdicts — this is how the
-//! "optimisations must not change any verdict" acceptance criterion is
-//! checked across commits.
+//! Every workload folds its results into an FNV-1a digest. The digests are
+//! pure functions of the computed values, so two runs (or two engines, or
+//! two builds) that print the same digest produced bitwise-identical LP
+//! solutions and prover verdicts — this is how both the "optimisations must
+//! not change any verdict" and the "sparse and dense simplex are
+//! indistinguishable" acceptance criteria are checked on every run. The
+//! process exits non-zero if any sparse/dense or fresh/sessioned comparison
+//! diverges.
 //!
 //! ```text
 //! cargo run --release -p revterm-bench --bin num_profile [lp_iters]
@@ -135,6 +142,47 @@ fn build_chain_query(rng: &mut Rng, n: usize, slack: i64) -> (Vec<Poly>, Poly) {
     (premises, conclusion)
 }
 
+/// Runs the whole microloop workload through one LP engine and returns
+/// `(feasible_count, seconds, digest)`.
+fn run_microloop(
+    problems: &[LpProblem],
+    queries: &[(Vec<Poly>, Poly)],
+    opts: &EntailmentOptions,
+    dense: bool,
+) -> (usize, f64, u64) {
+    let mut digest = Fnv::new();
+    let mut feasible = 0usize;
+    let start = Instant::now();
+    for lp in problems {
+        let result = if dense { lp.solve_dense() } else { lp.solve() };
+        match result.solution() {
+            Some(sol) => {
+                feasible += 1;
+                digest.write(b"opt:");
+                digest.write_rat(sol.objective());
+                for (v, val) in sol.iter() {
+                    digest.write(&v.0.to_le_bytes());
+                    digest.write_rat(val);
+                }
+            }
+            None => digest.write(b"none;"),
+        }
+    }
+    for (premises, conclusion) in queries {
+        match entails_with_witness(premises, conclusion, opts) {
+            Some(witness) => {
+                feasible += 1;
+                digest.write(b"yes:");
+                for lambda in &witness {
+                    digest.write_rat(lambda);
+                }
+            }
+            None => digest.write(b"no;"),
+        }
+    }
+    (feasible, start.elapsed().as_secs_f64(), digest.0)
+}
+
 fn main() {
     let lp_iters: usize = std::env::args()
         .nth(1)
@@ -144,8 +192,11 @@ fn main() {
     // --- LP-heavy microloop -------------------------------------------------
     // Two deterministic problem families, fixed up front so only the solving
     // is timed: raw simplex instances, and Farkas entailment chains (the
-    // shape the prover's consecution checks produce).
+    // shape the prover's consecution checks produce). Both run through the
+    // sparse engine and the dense reference engine.
     let opts = EntailmentOptions::linear();
+    let mut dense_opts = EntailmentOptions::linear();
+    dense_opts.use_dense_lp = true;
     let mut problems = Vec::new();
     let mut queries = Vec::new();
     {
@@ -163,38 +214,10 @@ fn main() {
             }
         }
     }
-    let mut digest = Fnv::new();
-    let mut feasible = 0usize;
-    let lp_start = Instant::now();
-    for lp in &problems {
-        let result = lp.solve();
-        match result.solution() {
-            Some(sol) => {
-                feasible += 1;
-                digest.write(b"opt:");
-                digest.write_rat(sol.objective());
-                for (v, val) in sol.iter() {
-                    digest.write(&v.0.to_le_bytes());
-                    digest.write_rat(val);
-                }
-            }
-            None => digest.write(b"none;"),
-        }
-    }
-    for (premises, conclusion) in &queries {
-        match entails_with_witness(premises, conclusion, &opts) {
-            Some(witness) => {
-                feasible += 1;
-                digest.write(b"yes:");
-                for lambda in &witness {
-                    digest.write_rat(lambda);
-                }
-            }
-            None => digest.write(b"no;"),
-        }
-    }
-    let lp_secs = lp_start.elapsed().as_secs_f64();
-    let lp_digest = digest.0;
+    let (feasible, lp_secs, lp_digest) = run_microloop(&problems, &queries, &opts, false);
+    let (dense_feasible, lp_dense_secs, lp_dense_digest) =
+        run_microloop(&problems, &queries, &dense_opts, true);
+    let lp_digests_match = lp_digest == lp_dense_digest && feasible == dense_feasible;
 
     // --- Degree-1 sweep on the running example ------------------------------
     let suite = revterm_suite::full_suite();
@@ -204,10 +227,24 @@ fn main() {
         .expect("paper_fig1_running missing from suite");
     let ts = bench.transition_system();
     let configs = degree1_sweep();
+    // The same grid with the dense-LP differential knob set on every cell.
+    let dense_configs: Vec<_> = configs
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.entailment.use_dense_lp = true;
+            c
+        })
+        .collect();
 
     let fresh_start = Instant::now();
     let fresh: Vec<bool> = configs.iter().map(|c| prove(&ts, c).is_non_terminating()).collect();
     let sweep_fresh_secs = fresh_start.elapsed().as_secs_f64();
+
+    let dense_start = Instant::now();
+    let dense: Vec<bool> =
+        dense_configs.iter().map(|c| prove(&ts, c).is_non_terminating()).collect();
+    let sweep_dense_secs = dense_start.elapsed().as_secs_f64();
 
     let mut session = ProverSession::new(ts);
     let session_start = Instant::now();
@@ -215,28 +252,52 @@ fn main() {
     let sweep_session_secs = session_start.elapsed().as_secs_f64();
     let sessioned: Vec<bool> = report.outcomes.iter().map(|o| o.proved).collect();
 
-    let mut vdigest = Fnv::new();
-    for &p in &fresh {
-        vdigest.write(if p { b"1" } else { b"0" });
-    }
+    let digest_of = |verdicts: &[bool]| {
+        let mut d = Fnv::new();
+        for &p in verdicts {
+            d.write(if p { b"1" } else { b"0" });
+        }
+        d.0
+    };
+    let verdict_digest = digest_of(&fresh);
+    let verdict_dense_digest = digest_of(&dense);
+    let verdict_digests_match = verdict_digest == verdict_dense_digest;
     let verdicts_match = fresh == sessioned;
 
     println!(
-        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_session_secs\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdicts_match\":{}}}",
+        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{}}}",
         problems.len() + queries.len(),
         feasible,
         lp_secs,
         lp_digest,
+        lp_dense_secs,
+        lp_dense_digest,
+        lp_digests_match,
         bench.name,
         configs.len(),
         sweep_fresh_secs,
+        sweep_dense_secs,
         sweep_session_secs,
-        vdigest.0,
+        verdict_digest,
+        verdict_dense_digest,
+        verdict_digests_match,
         verdicts_match,
     );
 
+    let mut failed = false;
+    if !lp_digests_match {
+        eprintln!("FAIL: dense LP solutions diverged from sparse LP solutions");
+        failed = true;
+    }
+    if !verdict_digests_match {
+        eprintln!("FAIL: dense-LP sweep verdicts diverged from sparse-LP verdicts");
+        failed = true;
+    }
     if !verdicts_match {
         eprintln!("FAIL: sessioned verdicts diverged from fresh verdicts");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

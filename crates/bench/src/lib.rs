@@ -13,6 +13,58 @@
 //! substitute suite described in `DESIGN.md` with per-program work bounded by
 //! the prover's internal budgets, so absolute counts and times differ while
 //! the comparison structure is preserved (see `EXPERIMENTS.md`).
+//!
+//! # Perf-harness JSON schemas
+//!
+//! Besides the table bins, two harness bins print machine-readable JSON so
+//! that perf trajectories can be compared across commits without reading the
+//! binaries. Both exit non-zero on any equivalence failure, so a CI-green
+//! run certifies every digest comparison below.
+//!
+//! ## `num_profile` (one JSON object per run)
+//!
+//! Profiles the exact-arithmetic/LP hot path. *Digest semantics*: digests
+//! are FNV-1a hashes folded over the decimal renderings of every computed
+//! value, so equal digests mean **bitwise-identical** results (same exact
+//! rationals, not just same verdicts) — across runs, across commits, and
+//! between the sparse and dense LP engines.
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `lp_problems` | number of LP instances + entailment-chain queries in the microloop |
+//! | `lp_feasible` | how many of those were feasible/entailed (workload shape check) |
+//! | `lp_secs` | seconds for the whole microloop through the sparse engine ([`revterm_solver::LpProblem::solve`]) |
+//! | `lp_digest` | FNV-1a digest of every LP solution and Farkas witness from the sparse run |
+//! | `lp_dense_secs` | same workload through the dense reference engine ([`revterm_solver::LpProblem::solve_dense`]) |
+//! | `lp_dense_digest` | digest of the dense run; must equal `lp_digest` |
+//! | `lp_digests_match` | `lp_digest == lp_dense_digest` (process exits 1 when false) |
+//! | `sweep_benchmark` | benchmark used for the sweep workload (the paper's running example) |
+//! | `sweep_configs` | number of degree-1 grid cells swept (24) |
+//! | `sweep_fresh_secs` | fresh per-configuration `prove` calls, sparse LP |
+//! | `sweep_dense_secs` | the same fresh sweep with the dense-LP differential knob set on every configuration |
+//! | `sweep_session_secs` | the same grid through one warm [`revterm::ProverSession`] |
+//! | `verdict_digest` | digest of the per-cell fresh verdicts (sparse) |
+//! | `verdict_dense_digest` | digest of the dense-LP sweep verdicts; must equal `verdict_digest` |
+//! | `verdict_digests_match` | sparse/dense sweep agreement (exit 1 when false) |
+//! | `verdicts_match` | fresh vs sessioned verdict agreement (exit 1 when false) |
+//!
+//! ## `session_vs_fresh` (one JSON object per benchmark)
+//!
+//! Measures the session-API speedup on the degree-1 grid.
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `benchmark` | benchmark name (from `revterm --list`) |
+//! | `configs` | grid cells swept (24) |
+//! | `proved_cells` | cells that proved non-termination |
+//! | `fresh_secs` | cold per-configuration `prove` calls |
+//! | `session_secs` | the same grid through one warm session |
+//! | `speedup` | `fresh_secs / session_secs` |
+//! | `verdicts_match` | per-cell fresh vs sessioned agreement (exit 1 when false) |
+//! | `entailment_calls` | entailment queries issued by the sessioned sweep |
+//! | `entailment_cache_hits` | of those, answered from [`revterm_solver::EntailmentCache`] |
+//! | `probe_cache_hits` | divergence-probe results reused across cells |
+//! | `artifact_cache_hits` | resolutions/initials/pools/systems reused across cells |
 
 #![forbid(unsafe_code)]
 

@@ -96,7 +96,7 @@ pub(crate) fn synthesis_options(
 
 /// Runs Check 1 on a transition system.
 ///
-/// One-shot wrapper around [`check1_cached`] with empty caches; prefer a
+/// One-shot wrapper around `check1_cached` with empty caches; prefer a
 /// [`crate::ProverSession`] when running more than one configuration.  The
 /// caller is expected to re-validate the returned certificate with
 /// [`crate::validate_certificate`] (the session and [`crate::prove`] entry

@@ -24,7 +24,7 @@ use revterm_ts::{Assertion, TransitionSystem};
 
 /// Runs Check 2 on a transition system.
 ///
-/// One-shot wrapper around [`check2_cached`] with empty caches; prefer a
+/// One-shot wrapper around `check2_cached` with empty caches; prefer a
 /// [`crate::ProverSession`] when running more than one configuration.
 pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
     check2_cached(ts, config, &mut Caches::default(), &mut ProveStats::default())

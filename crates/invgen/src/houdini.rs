@@ -185,7 +185,9 @@ fn adaptive(premises: &[Poly], conclusion: &Poly, base: &EntailmentOptions) -> E
         .max()
         .unwrap_or(0);
     if deg <= 1 {
-        EntailmentOptions::linear()
+        // Restrict only the product budget; non-budget fields (unsat
+        // fallback, the dense-LP differential knob) keep the caller's values.
+        base.linearized()
     } else {
         base.clone()
     }

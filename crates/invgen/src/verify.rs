@@ -39,7 +39,9 @@ fn adaptive_opts(
 ) -> EntailmentOptions {
     let max_premise_degree = premises.iter().map(|p| p.total_degree()).max().unwrap_or(0);
     if max_premise_degree <= 1 && conclusion_degree <= 1 {
-        EntailmentOptions::linear()
+        // Restrict only the product budget; non-budget fields (unsat
+        // fallback, the dense-LP differential knob) keep the caller's values.
+        base.linearized()
     } else {
         base.clone()
     }

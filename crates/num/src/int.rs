@@ -257,7 +257,9 @@ fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
 }
 
 /// Binary GCD on machine words (always the fast path for two small values).
-fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+/// Shared with the packed [`crate::Rat`] tier, which reduces machine-word
+/// fractions without constructing `Int`s.
+pub(crate) fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
     if a == 0 {
         return b;
     }

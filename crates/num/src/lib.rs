@@ -10,8 +10,11 @@
 //! * [`Int`] — an arbitrary-precision integer with a **two-tier
 //!   representation**: values in the `i64` range are stored inline, values
 //!   outside it fall back to a sign-magnitude base-2^64 limb vector.
-//! * [`Rat`] — an exact rational number (a reduced fraction of two [`Int`]s
-//!   with a strictly positive denominator).
+//! * [`Rat`] — an exact rational number with the same two-tier design:
+//!   fractions whose reduced numerator and denominator both fit in an `i64`
+//!   are stored as a **packed machine-word pair** (24 bytes, allocation-free
+//!   arithmetic on `i64`/`i128` intermediates with machine-word gcds);
+//!   anything larger falls back to a boxed pair of [`Int`]s.
 //!
 //! # Two-tier representation and canonical form
 //!
@@ -40,14 +43,20 @@
 //! `Display` of promoted values allocate.
 //!
 //! [`Rat`] keeps the classic invariants (strictly positive denominator,
-//! `gcd(num, den) == 1`, zero as `0/1` — see [`Rat::new`] and
-//! [`Rat::checked_new`] for the zero-denominator contract) but avoids the
-//! full re-reduction gcd wherever the invariants already decide it:
-//! same-denominator addition reduces with a single gcd, integer operands
-//! need no gcd at all, general addition uses the gcd-of-denominators
-//! decomposition, multiplication cross-reduces before multiplying, and
-//! reciprocal/negation/absolute-value are gcd-free. Comparisons short-cut
-//! on signs and equal denominators before cross-multiplying.
+//! `gcd(num, den) == 1`, zero as `0/1` — see [`Rat::new`], [`Rat::packed`],
+//! [`Rat::checked_new`] and [`Rat::checked_packed`] for the
+//! zero-denominator contract) but avoids the full re-reduction gcd wherever
+//! the invariants already decide it: same-denominator addition reduces with
+//! a single gcd, integer operands need no gcd at all, general addition uses
+//! the gcd-of-denominators decomposition, multiplication cross-reduces
+//! before multiplying, and reciprocal/negation/absolute-value are gcd-free.
+//! Comparisons short-cut on signs and equal denominators before
+//! cross-multiplying. On the packed tier all of this runs on machine words
+//! (`i128` intermediates are exact: packed products are bounded by `2^126`),
+//! results demote back to the packed tier whenever they fit —
+//! [`Rat::is_packed`] reports the tier, mirroring [`Int::is_inline`] — and
+//! the unique-representation invariant keeps `Eq`/`Ord`/`Hash`
+//! representation-independent.
 //!
 //! # Examples
 //!
@@ -103,5 +112,5 @@ pub fn rat(v: i64) -> Rat {
 /// assert_eq!(ratio(2, 4).to_string(), "1/2");
 /// ```
 pub fn ratio(num: i64, den: i64) -> Rat {
-    Rat::new(Int::from(num), Int::from(den))
+    Rat::packed(num, den)
 }

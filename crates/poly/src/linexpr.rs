@@ -82,6 +82,30 @@ impl LinExpr {
         self.coeffs.iter()
     }
 
+    /// Nonzero-iterating view: `(variable, coefficient)` pairs in strictly
+    /// increasing variable order, with exact length. This is the interface
+    /// sparse consumers (the LP row builder) use to ingest an expression
+    /// without densifying it into a coefficient vector.
+    ///
+    /// ```
+    /// use revterm_poly::{LinExpr, Var};
+    /// use revterm_num::rat;
+    /// let e = LinExpr::term(Var(3), rat(2)) + LinExpr::term(Var(1), rat(-1));
+    /// let nz: Vec<(Var, String)> =
+    ///     e.nonzeros().map(|(v, c)| (v, c.to_string())).collect();
+    /// assert_eq!(e.num_nonzeros(), 2);
+    /// assert_eq!(nz, vec![(Var(1), "-1".to_string()), (Var(3), "2".to_string())]);
+    /// ```
+    pub fn nonzeros(&self) -> impl ExactSizeIterator<Item = (Var, &Rat)> + '_ {
+        self.coeffs.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// Number of variables with non-zero coefficients (the length of
+    /// [`LinExpr::nonzeros`]).
+    pub fn num_nonzeros(&self) -> usize {
+        self.coeffs.len()
+    }
+
     /// The variables with non-zero coefficients.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
         self.coeffs.keys().copied()

@@ -227,7 +227,7 @@ impl Poly {
     pub fn clear_denominators(&self) -> (Poly, Int) {
         let mut lcm = Int::one();
         for c in self.terms.values() {
-            lcm = lcm.lcm(c.denom());
+            lcm = lcm.lcm(&c.denom());
         }
         let mult = Rat::from(lcm.clone());
         (self.scale(&mult), lcm)

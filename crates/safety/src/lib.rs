@@ -48,7 +48,7 @@ impl Default for SearchBounds {
 
 /// Collects candidate integer values for non-deterministic assignments and
 /// for seeding initial valuations: the program constants (see
-/// [`revterm_invgen::collect_constants`]'s counterpart here) plus a small grid.
+/// `revterm_invgen::collect_constants`'s counterpart here) plus a small grid.
 pub fn ndet_candidate_values(ts: &TransitionSystem, grid: i64) -> Vec<Int> {
     let mut values: Vec<Int> = (-grid..=grid).map(Int::from).collect();
     for t in ts.transitions() {

@@ -16,7 +16,27 @@
 //! give a Handelman-style relaxation for polynomial arithmetic.
 //!
 //! The search for multipliers is a pure rational LP feasibility problem and is
-//! discharged by [`crate::LpProblem`].
+//! discharged by [`crate::LpProblem`].  The LP is built sparsely: it has one
+//! equality row per monomial and one non-negative multiplier column per
+//! premise product, and each row mentions only the products actually
+//! containing its monomial, so the rows have a handful of nonzeros no matter
+//! how many products the budget generates — the shape the sparse simplex
+//! tableau ([`crate::SparseRow`]) is designed around.
+//!
+//! ```
+//! use revterm_poly::{Poly, Var};
+//! use revterm_solver::{entails, entails_with_witness, EntailmentOptions};
+//!
+//! let x = Poly::var(Var(0));
+//! let premises = vec![&x - &Poly::constant_i64(2)]; // x - 2 >= 0
+//! let conclusion = &x.scale(&revterm_num::rat(3)) - &Poly::constant_i64(6);
+//!
+//! // x >= 2 entails 3x - 6 >= 0, with certificate λ = [0, 3].
+//! let opts = EntailmentOptions::linear();
+//! assert!(entails(&premises, &conclusion, &opts));
+//! let witness = entails_with_witness(&premises, &conclusion, &opts).unwrap();
+//! assert_eq!(witness, vec![revterm_num::rat(0), revterm_num::rat(3)]);
+//! ```
 
 use crate::lp::{LpProblem, Rel, VarKind};
 use revterm_num::Rat;
@@ -34,23 +54,42 @@ pub struct EntailmentOptions {
     /// Also attempt to show that the premises are unsatisfiable over the
     /// reals (in which case any conclusion is entailed).
     pub use_unsat_fallback: bool,
+    /// Differential-testing knob: discharge the multiplier LPs with the
+    /// dense reference simplex ([`LpProblem::solve_dense`]) instead of the
+    /// default sparse engine ([`LpProblem::solve`]). Verdicts and witnesses
+    /// are identical either way — the `num_profile` bench bin flips this
+    /// flag to prove it on every run. Leave `false` outside such harnesses.
+    pub use_dense_lp: bool,
 }
 
 impl Default for EntailmentOptions {
     fn default() -> Self {
-        EntailmentOptions { max_product_size: 2, max_product_degree: 4, use_unsat_fallback: true }
+        EntailmentOptions {
+            max_product_size: 2,
+            max_product_degree: 4,
+            use_unsat_fallback: true,
+            use_dense_lp: false,
+        }
     }
 }
 
 impl EntailmentOptions {
     /// Options for purely linear reasoning (plain Farkas lemma).
     pub fn linear() -> Self {
-        EntailmentOptions { max_product_size: 1, max_product_degree: 1, use_unsat_fallback: true }
+        EntailmentOptions { max_product_size: 1, max_product_degree: 1, ..Default::default() }
     }
 
     /// Options with a given product size / degree budget.
     pub fn with_budget(max_product_size: usize, max_product_degree: u32) -> Self {
-        EntailmentOptions { max_product_size, max_product_degree, use_unsat_fallback: true }
+        EntailmentOptions { max_product_size, max_product_degree, ..Default::default() }
+    }
+
+    /// A copy of these options restricted to the plain-Farkas budget
+    /// (product size and degree 1), preserving every non-budget field —
+    /// use this instead of [`EntailmentOptions::linear`] when downgrading a
+    /// configured options value for a linear obligation.
+    pub fn linearized(&self) -> Self {
+        EntailmentOptions { max_product_size: 1, max_product_degree: 1, ..self.clone() }
     }
 }
 
@@ -80,7 +119,16 @@ fn products(premises: &[Poly], opts: &EntailmentOptions) -> Vec<Poly> {
 
 /// Searches for a non-negative combination of `products` equal to `target`.
 /// Returns the multipliers (aligned with `products`) if one exists.
-fn combination_witness(product_list: &[Poly], target: &Poly) -> Option<Vec<Rat>> {
+///
+/// The LP has one row per monomial occurring anywhere and one non-negative
+/// multiplier column per product; a row's nonzeros are exactly the products
+/// containing that monomial, so the constraint expressions stay sparse and
+/// feed the sparse simplex tableau without ever densifying.
+fn combination_witness(
+    product_list: &[Poly],
+    target: &Poly,
+    opts: &EntailmentOptions,
+) -> Option<Vec<Rat>> {
     // Multiplier variables λ_j are LP variables Var(j).
     let mut lp = LpProblem::new();
     for j in 0..product_list.len() {
@@ -103,7 +151,7 @@ fn combination_witness(product_list: &[Poly], target: &Poly) -> Option<Vec<Rat>>
         }
         lp.add_constraint(expr, Rel::Eq);
     }
-    let result = lp.solve();
+    let result = if opts.use_dense_lp { lp.solve_dense() } else { lp.solve() };
     result.solution().map(|sol| (0..product_list.len()).map(|j| sol.value(Var(j as u32))).collect())
 }
 
@@ -126,7 +174,7 @@ pub fn entails_with_witness(
         }
     }
     let product_list = products(premises, opts);
-    if let Some(witness) = combination_witness(&product_list, conclusion) {
+    if let Some(witness) = combination_witness(&product_list, conclusion, opts) {
         return Some(witness);
     }
     if opts.use_unsat_fallback && implies_false(premises, opts) {
@@ -154,7 +202,7 @@ pub fn implies_false(premises: &[Poly], opts: &EntailmentOptions) -> bool {
         return true;
     }
     let product_list = products(premises, opts);
-    combination_witness(&product_list, &Poly::constant_i64(-1)).is_some()
+    combination_witness(&product_list, &Poly::constant_i64(-1), opts).is_some()
 }
 
 /// A memo table for the entailment oracle, reusable across many queries on
@@ -276,7 +324,7 @@ impl EntailmentCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use revterm_num::rat;
+    use revterm_num::{rat, Rat};
 
     fn x() -> Poly {
         Poly::var(Var(100))
@@ -408,6 +456,45 @@ mod tests {
         assert!(!cache.is_empty());
         assert_eq!(cache.len(), 4);
         assert!(cache.lookups > cache.hits);
+    }
+
+    #[test]
+    fn prop_sparse_and_dense_farkas_certificates_agree() {
+        // The dense-LP knob must not change a single verdict or witness:
+        // random feasible/infeasible entailment chains produce bitwise-equal
+        // Farkas certificates through both simplex engines.
+        use crate::SplitMix64;
+        let sparse_opts = EntailmentOptions::linear();
+        let mut dense_opts = EntailmentOptions::linear();
+        dense_opts.use_dense_lp = true;
+        let mut rng = SplitMix64::new(0x0FA1_2CA5);
+        let (mut entailed, mut refuted) = (0, 0);
+        for round in 0..40 {
+            let n = 3 + rng.next_below(4) as usize;
+            let mut premises = Vec::new();
+            let mut total = rat(0);
+            for i in 0..n {
+                let step = Rat::packed(rng.next_in_range(1, 6), rng.next_in_range(1, 4));
+                let step_poly = Poly::constant(step.clone());
+                premises
+                    .push(&Poly::var(Var(i as u32 + 1)) - &Poly::var(Var(i as u32)) - step_poly);
+                total = &total + &step;
+            }
+            // Entailed on even rounds (slack below the chain sum), refuted on
+            // odd rounds (conclusion overshoots the sum).
+            let slack = if round % 2 == 0 { rat(1) } else { rat(-1) };
+            let bound = &total - &slack;
+            let conclusion = &Poly::var(Var(n as u32)) - &Poly::var(Var(0)) - Poly::constant(bound);
+            let via_sparse = entails_with_witness(&premises, &conclusion, &sparse_opts);
+            let via_dense = entails_with_witness(&premises, &conclusion, &dense_opts);
+            assert_eq!(via_sparse, via_dense, "engines diverged on round {round}");
+            match via_sparse {
+                Some(_) => entailed += 1,
+                None => refuted += 1,
+            }
+        }
+        assert_eq!(entailed, 20);
+        assert_eq!(refuted, 20);
     }
 
     #[test]

@@ -12,6 +12,22 @@
 //!   non-negative multipliers `λ` with `p = λ_0 + Σ_j λ_j · π_j` where the
 //!   `π_j` range over products of the premises up to a degree bound.
 //!
+//! # The exact LP encoding, and why the tableau is sparse
+//!
+//! The entailment oracle turns each query into one LP over the multiplier
+//! variables `λ_j`: one **equality row per monomial** occurring in the
+//! premise products or the conclusion, stating that the monomial's
+//! coefficients match on both sides. A given monomial occurs in only a
+//! handful of products, so each row has 3–6 nonzeros regardless of how many
+//! hundreds of multiplier columns the product budget generates. The simplex
+//! tableau therefore stores rows as [`SparseRow`]s — sorted, zero-free
+//! `(column, coefficient)` lists with packed machine-word [`revterm_num::Rat`]
+//! coefficients — and pivots by merging sparse rows; the dense reference
+//! engine ([`LpProblem::solve_dense`]) is kept for differential testing and
+//! produces bitwise-identical results. The [`lp`] module docs describe the
+//! lowering to standard form; the [`entail`] module docs describe the
+//! positive-combination encoding.
+//!
 //! Both oracles are *sound*: a positive answer comes with an explicit
 //! certificate (a feasible point, a multiplier vector), and every
 //! non-termination verdict produced by the core crate is re-validated through
@@ -35,12 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod entail;
-mod lp;
+pub mod entail;
+pub mod lp;
 mod rng;
 
 pub use entail::{
     entails, entails_with_witness, implies_false, EntailmentCache, EntailmentOptions,
 };
-pub use lp::{LpProblem, LpResult, LpSolution, Rel, VarKind};
+pub use lp::{LpProblem, LpResult, LpSolution, Rel, SparseRow, VarKind};
 pub use rng::SplitMix64;

@@ -1,7 +1,53 @@
 //! Exact linear programming over the rationals (two-phase primal simplex).
+//!
+//! # Encoding
+//!
+//! An [`LpProblem`] is a list of constraints `expr REL 0` over free or
+//! non-negative variables, plus an optional minimisation objective. `solve`
+//! lowers it to standard form the classic way: every free variable is split
+//! into a difference of two non-negative columns, every inequality gains a
+//! slack/surplus column, rows are sign-normalised so the right-hand side is
+//! non-negative, and one artificial column per row provides the initial
+//! basis for phase 1 (minimise the sum of artificials; feasible iff that
+//! optimum is zero). Phase 2 then minimises the real objective with the
+//! artificial columns banned. Bland's rule (lowest improving column index,
+//! lowest basic variable on ties) guarantees termination.
+//!
+//! # Sparse tableau
+//!
+//! The rows produced by this workspace's Farkas/Handelman encodings have
+//! 3–6 nonzeros regardless of how many multiplier columns exist, so the
+//! tableau is stored as [`SparseRow`]s — sorted `(column, coefficient)`
+//! nonzero lists — and every simplex step works on nonzeros only: pivoting
+//! merges the sparse pivot row into the sparse target rows, and the
+//! reduced-cost scan accumulates `c_j - c_B^T T_j` by walking the nonzeros
+//! of the rows whose basic variable has non-zero cost instead of scanning
+//! every column of every row. A dense reference implementation is kept as
+//! [`LpProblem::solve_dense`]; the two produce bitwise-identical results
+//! (same pivot sequence — exact arithmetic makes every comparison
+//! representation-independent) and are differentially tested against each
+//! other on random systems.
+//!
+//! ```
+//! use revterm_num::rat;
+//! use revterm_poly::{LinExpr, Var};
+//! use revterm_solver::{LpProblem, Rel, VarKind};
+//!
+//! // minimise x + y subject to x + y >= 2, x - y = 1, x, y >= 0.
+//! let mut lp = LpProblem::new();
+//! lp.set_var_kind(Var(0), VarKind::NonNegative);
+//! lp.set_var_kind(Var(1), VarKind::NonNegative);
+//! lp.add_constraint(LinExpr::var(Var(0)) + LinExpr::var(Var(1)) - LinExpr::constant(rat(2)), Rel::Ge);
+//! lp.add_constraint(LinExpr::var(Var(0)) - LinExpr::var(Var(1)) - LinExpr::constant(rat(1)), Rel::Eq);
+//! lp.set_objective(LinExpr::var(Var(0)) + LinExpr::var(Var(1)));
+//! let solution = lp.solve().solution().unwrap().clone();
+//! assert_eq!(solution.objective().clone(), rat(2));
+//! assert_eq!(lp.solve(), lp.solve_dense());
+//! ```
 
 use revterm_num::Rat;
 use revterm_poly::{LinExpr, Var};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -24,6 +70,171 @@ pub enum VarKind {
     Free,
     /// The variable is restricted to be `≥ 0`.
     NonNegative,
+}
+
+/// A sparse tableau/constraint row: the nonzero entries of one row of the
+/// simplex tableau, as `(column, coefficient)` pairs.
+///
+/// # Invariants
+///
+/// * entries are sorted by **strictly increasing** column index (no
+///   duplicate columns);
+/// * **no explicit zeros** are stored — a column absent from the list has
+///   coefficient exactly zero;
+/// * coefficients are canonical [`Rat`]s (reduced, positive denominator),
+///   so machine-word-sized values stay in the packed tier and row kernels
+///   inherit the packed fast paths.
+///
+/// The mutating operations (`scale`, `take`, `eliminate`) preserve the
+/// invariants: scaling by a non-zero rational cannot create zeros, and the
+/// elimination merge drops cancelled entries instead of storing them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseRow {
+    entries: Vec<(u32, Rat)>,
+}
+
+impl SparseRow {
+    /// Creates an empty row (all coefficients zero).
+    pub fn new() -> SparseRow {
+        SparseRow::default()
+    }
+
+    /// Creates an empty row with capacity for `n` nonzeros.
+    pub fn with_capacity(n: usize) -> SparseRow {
+        SparseRow { entries: Vec::with_capacity(n) }
+    }
+
+    /// Builds a row from arbitrary `(column, coefficient)` pairs: sorts by
+    /// column, sums duplicate columns, and drops zero coefficients.
+    pub fn from_entries(entries: impl IntoIterator<Item = (u32, Rat)>) -> SparseRow {
+        let mut raw: Vec<(u32, Rat)> = entries.into_iter().collect();
+        raw.sort_by_key(|(c, _)| *c);
+        let mut row = SparseRow::with_capacity(raw.len());
+        for (col, coeff) in raw {
+            match row.entries.last_mut() {
+                Some((last, acc)) if *last == col => {
+                    *acc += &coeff;
+                    if acc.is_zero() {
+                        row.entries.pop();
+                    }
+                }
+                _ => {
+                    if !coeff.is_zero() {
+                        row.entries.push((col, coeff));
+                    }
+                }
+            }
+        }
+        row
+    }
+
+    /// Appends a nonzero coefficient at a column strictly greater than every
+    /// column already present (the builder fast path for callers that
+    /// iterate sources in column order, e.g. [`LinExpr::nonzeros`]).
+    /// Crate-internal: unlike [`SparseRow::from_entries`] it trusts the
+    /// caller with the sorted/no-zeros invariants, checking them only in
+    /// debug builds.
+    pub(crate) fn push(&mut self, col: u32, coeff: Rat) {
+        debug_assert!(!coeff.is_zero(), "explicit zero pushed into a sparse row");
+        debug_assert!(
+            self.entries.last().is_none_or(|(last, _)| *last < col),
+            "sparse row push out of order"
+        );
+        self.entries.push((col, coeff));
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` iff the row is entirely zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The coefficient at `col`, or `None` if it is zero.
+    pub fn get(&self, col: u32) -> Option<&Rat> {
+        self.entries.binary_search_by_key(&col, |(c, _)| *c).ok().map(|idx| &self.entries[idx].1)
+    }
+
+    /// Iterates over the nonzeros in increasing column order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Rat)> + '_ {
+        self.entries.iter().map(|(c, v)| (*c, v))
+    }
+
+    /// Negates every coefficient in place (used by the sign normalisation
+    /// that makes right-hand sides non-negative).
+    pub fn negate(&mut self) {
+        for (_, v) in self.entries.iter_mut() {
+            *v = -std::mem::take(v);
+        }
+    }
+
+    /// Scales every coefficient by a non-zero rational in place.
+    fn scale(&mut self, by: &Rat) {
+        debug_assert!(!by.is_zero(), "scaling a sparse row by zero");
+        for (_, v) in self.entries.iter_mut() {
+            *v *= by;
+        }
+    }
+
+    /// Removes the entry at `col` and returns its coefficient.
+    fn take(&mut self, col: u32) -> Option<Rat> {
+        self.entries
+            .binary_search_by_key(&col, |(c, _)| *c)
+            .ok()
+            .map(|idx| self.entries.remove(idx).1)
+    }
+
+    /// Gaussian elimination step `self -= factor * pivot`, merging the two
+    /// sorted nonzero lists into `scratch` (reused across calls to avoid
+    /// per-row allocation) and swapping the result in. The caller has
+    /// already removed `self`'s entry at the pivot column `col` (its value
+    /// was `factor`, and the pivot row holds exactly `1` there, so the
+    /// result at `col` is exactly zero and the merge skips that column).
+    /// Cancellations are dropped, keeping the no-explicit-zeros invariant.
+    fn eliminate(
+        &mut self,
+        factor: &Rat,
+        pivot: &SparseRow,
+        col: u32,
+        scratch: &mut Vec<(u32, Rat)>,
+    ) {
+        scratch.clear();
+        scratch.reserve(self.entries.len() + pivot.entries.len());
+        let lhs = &mut self.entries;
+        let rhs = &pivot.entries;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lhs.len() || j < rhs.len() {
+            let ci = lhs.get(i).map_or(u32::MAX, |(c, _)| *c);
+            let cj = rhs.get(j).map_or(u32::MAX, |(c, _)| *c);
+            match ci.cmp(&cj) {
+                Ordering::Less => {
+                    scratch.push((ci, std::mem::take(&mut lhs[i].1)));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    if cj != col {
+                        scratch.push((cj, -(factor * &rhs[j].1)));
+                    }
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    if ci != col {
+                        let w = &lhs[i].1 - &(factor * &rhs[j].1);
+                        if !w.is_zero() {
+                            scratch.push((ci, w));
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut self.entries, scratch);
+        scratch.clear();
+    }
 }
 
 /// A satisfying assignment returned by the solver.
@@ -118,6 +329,32 @@ impl fmt::Display for LpProblem {
     }
 }
 
+/// The user-variable → simplex-column mapping shared by the sparse and
+/// dense lowerings: each free variable occupies an adjacent
+/// (positive, negative) column pair, each non-negative variable one column.
+struct ColumnMap {
+    vars: Vec<Var>,
+    col_of_pos: BTreeMap<Var, usize>,
+    col_of_neg: BTreeMap<Var, usize>,
+    structural_cols: usize,
+}
+
+impl ColumnMap {
+    /// Reads a user-variable assignment back out of the column values.
+    fn reconstruct(&self, col_values: &[Rat], objective: Rat) -> LpSolution {
+        let mut values = BTreeMap::new();
+        for &v in &self.vars {
+            let pos = col_values[self.col_of_pos[&v]].clone();
+            let val = match self.col_of_neg.get(&v) {
+                Some(&neg) => &pos - &col_values[neg],
+                None => pos,
+            };
+            values.insert(v, val);
+        }
+        LpSolution { values, objective }
+    }
+}
+
 impl LpProblem {
     /// Creates an empty problem.
     pub fn new() -> LpProblem {
@@ -144,9 +381,8 @@ impl LpProblem {
         self.constraints.len()
     }
 
-    /// Solves the problem.
-    pub fn solve(&self) -> LpResult {
-        // Map every user variable to one or two simplex columns.
+    /// Maps every user variable to one or two simplex columns.
+    fn column_map(&self) -> ColumnMap {
         let mut vars: Vec<Var> = self
             .constraints
             .iter()
@@ -156,7 +392,6 @@ impl LpProblem {
         vars.sort();
         vars.dedup();
 
-        // column index -> (user var, sign) for reconstruction.
         let mut col_of_pos: BTreeMap<Var, usize> = BTreeMap::new();
         let mut col_of_neg: BTreeMap<Var, usize> = BTreeMap::new();
         let mut num_cols = 0usize;
@@ -169,18 +404,153 @@ impl LpProblem {
                 num_cols += 1;
             }
         }
-        let structural_cols = num_cols;
+        ColumnMap { vars, col_of_pos, col_of_neg, structural_cols: num_cols }
+    }
+
+    /// The dense phase-2 cost vector of the objective (if any).
+    fn cost_vector(&self, map: &ColumnMap, total_cols: usize) -> Option<Vec<Rat>> {
+        let obj = self.objective.as_ref()?;
+        let mut cost = vec![Rat::zero(); total_cols];
+        for (v, c) in obj.nonzeros() {
+            cost[map.col_of_pos[&v]] += c;
+            if let Some(&neg) = map.col_of_neg.get(&v) {
+                cost[neg] -= c;
+            }
+        }
+        Some(cost)
+    }
+
+    /// Solves the problem with the sparse simplex engine.
+    ///
+    /// The tableau rows are [`SparseRow`]s built directly from the
+    /// constraints' [`LinExpr::nonzeros`] views — the dense coefficient
+    /// matrix is never materialised. Produces results bitwise-identical to
+    /// [`LpProblem::solve_dense`].
+    pub fn solve(&self) -> LpResult {
+        let map = self.column_map();
+        let m = self.constraints.len();
+
+        // Build sparse rows a·x = b with slack/surplus columns appended.
+        // Structural columns come in variable order and slack/artificial
+        // columns are appended with strictly larger indices, so every push
+        // below is in increasing column order.
+        let mut rows: Vec<SparseRow> = Vec::with_capacity(m);
+        let mut rhs: Vec<Rat> = Vec::with_capacity(m);
+        let mut slack_specs: Vec<(usize, Rat)> = Vec::new(); // (row, coefficient)
+        for (i, (expr, rel)) in self.constraints.iter().enumerate() {
+            let mut row = SparseRow::with_capacity(2 * expr.num_nonzeros() + 2);
+            for (v, c) in expr.nonzeros() {
+                row.push(map.col_of_pos[&v] as u32, c.clone());
+                if let Some(&neg) = map.col_of_neg.get(&v) {
+                    row.push(neg as u32, -c.clone());
+                }
+            }
+            rows.push(row);
+            rhs.push(-expr.constant_part().clone());
+            let slack = match rel {
+                Rel::Eq => None,
+                Rel::Ge => Some(-Rat::one()),
+                Rel::Le => Some(Rat::one()),
+            };
+            if let Some(c) = slack {
+                slack_specs.push((i, c));
+            }
+        }
+        let num_slack = slack_specs.len();
+        for (k, (row_idx, coeff)) in slack_specs.into_iter().enumerate() {
+            rows[row_idx].push((map.structural_cols + k) as u32, coeff);
+        }
+        let total_decision_cols = map.structural_cols + num_slack;
+        // Normalise signs so that rhs >= 0.
+        for i in 0..m {
+            if rhs[i].is_negative() {
+                rhs[i] = -std::mem::take(&mut rhs[i]);
+                rows[i].negate();
+            }
+        }
+        // Append artificial columns (one per row) to get an initial basis.
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.push((total_decision_cols + i) as u32, Rat::one());
+        }
+        let total_cols = total_decision_cols + m;
+        let mut basis: Vec<usize> = (0..m).map(|i| total_decision_cols + i).collect();
+
+        // Phase 1: minimise the sum of artificial variables.
+        let phase1_cost: Vec<Rat> = (0..total_cols)
+            .map(|j| if j >= total_decision_cols { Rat::one() } else { Rat::zero() })
+            .collect();
+        let banned: Vec<bool> = vec![false; total_cols];
+        if !simplex(&mut rows, &mut rhs, &mut basis, &phase1_cost, &banned) {
+            // Phase 1 objective is bounded below by 0, so this cannot happen.
+            return LpResult::Infeasible;
+        }
+        let phase1_value: Rat =
+            basis.iter().enumerate().map(|(i, &b)| &phase1_cost[b] * &rhs[i]).sum();
+        if phase1_value.is_positive() {
+            return LpResult::Infeasible;
+        }
+        // Drive artificial variables out of the basis where possible. The
+        // entries are column-sorted, so the leading entry is the lowest
+        // nonzero column — exactly Bland's choice among decision columns.
+        let mut scratch: Vec<(u32, Rat)> = Vec::new();
+        for i in 0..m {
+            if basis[i] >= total_decision_cols {
+                let j = rows[i]
+                    .iter()
+                    .next()
+                    .map(|(c, _)| c as usize)
+                    .filter(|&c| c < total_decision_cols);
+                if let Some(j) = j {
+                    pivot(&mut rows, &mut rhs, &mut basis, i, j, &mut scratch);
+                }
+            }
+        }
+        // Ban artificial columns from ever entering again.
+        let mut banned = vec![false; total_cols];
+        banned[total_decision_cols..].fill(true);
+
+        // Phase 2 (only if an objective is present).
+        let objective_value;
+        if let Some(cost) = self.cost_vector(&map, total_cols) {
+            if !simplex(&mut rows, &mut rhs, &mut basis, &cost, &banned) {
+                return LpResult::Unbounded;
+            }
+            let basis_value: Rat = basis.iter().enumerate().map(|(i, &b)| &cost[b] * &rhs[i]).sum();
+            objective_value = &basis_value
+                + self.objective.as_ref().expect("cost implies objective").constant_part();
+        } else {
+            objective_value = Rat::zero();
+        }
+
+        // Extract the solution.
+        let mut col_values = vec![Rat::zero(); total_cols];
+        for (i, &b) in basis.iter().enumerate() {
+            col_values[b] = rhs[i].clone();
+        }
+        LpResult::Optimal(map.reconstruct(&col_values, objective_value))
+    }
+
+    /// Solves the problem with the dense reference simplex.
+    ///
+    /// This is the pre-sparse tableau implementation, kept as the oracle for
+    /// differential testing: it must produce **bitwise-identical** results
+    /// to [`LpProblem::solve`] (both engines make the same Bland's-rule
+    /// pivot choices, and exact arithmetic makes every intermediate value
+    /// representation-independent). The `num_profile` bench bin re-checks
+    /// this equivalence on every run via FNV digests of the solutions.
+    pub fn solve_dense(&self) -> LpResult {
+        let map = self.column_map();
+        let m = self.constraints.len();
 
         // Build rows: a·x (cols) = b with b >= 0, adding slack/surplus columns.
-        let m = self.constraints.len();
         let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
         let mut rhs: Vec<Rat> = Vec::with_capacity(m);
         let mut slack_specs: Vec<(usize, Rat)> = Vec::new(); // (row, coefficient)
         for (i, (expr, rel)) in self.constraints.iter().enumerate() {
-            let mut row = vec![Rat::zero(); structural_cols];
+            let mut row = vec![Rat::zero(); map.structural_cols];
             for (v, c) in expr.coeffs() {
-                row[col_of_pos[v]] += c;
-                if let Some(&neg) = col_of_neg.get(v) {
+                row[map.col_of_pos[v]] += c;
+                if let Some(&neg) = map.col_of_neg.get(v) {
                     row[neg] -= c;
                 }
             }
@@ -202,9 +572,9 @@ impl LpProblem {
             row.extend(std::iter::repeat_n(Rat::zero(), num_slack));
         }
         for (k, (row_idx, coeff)) in slack_specs.iter().enumerate() {
-            rows[*row_idx][structural_cols + k] = coeff.clone();
+            rows[*row_idx][map.structural_cols + k] = coeff.clone();
         }
-        let total_decision_cols = structural_cols + num_slack;
+        let total_decision_cols = map.structural_cols + num_slack;
         // Normalise signs so that rhs >= 0.
         for i in 0..m {
             if rhs[i].is_negative() {
@@ -229,7 +599,7 @@ impl LpProblem {
             .map(|j| if j >= total_decision_cols { Rat::one() } else { Rat::zero() })
             .collect();
         let banned: Vec<bool> = vec![false; total_cols];
-        if !simplex(&mut rows, &mut rhs, &mut basis, &phase1_cost, &banned) {
+        if !simplex_dense(&mut rows, &mut rhs, &mut basis, &phase1_cost, &banned) {
             // Phase 1 objective is bounded below by 0, so this cannot happen.
             return LpResult::Infeasible;
         }
@@ -242,31 +612,23 @@ impl LpProblem {
         for i in 0..m {
             if basis[i] >= total_decision_cols {
                 if let Some(j) = (0..total_decision_cols).find(|&j| !rows[i][j].is_zero()) {
-                    pivot(&mut rows, &mut rhs, &mut basis, i, j);
+                    pivot_dense(&mut rows, &mut rhs, &mut basis, i, j);
                 }
             }
         }
         // Ban artificial columns from ever entering again.
         let mut banned = vec![false; total_cols];
-        for b in banned.iter_mut().take(total_cols).skip(total_decision_cols) {
-            *b = true;
-        }
+        banned[total_decision_cols..].fill(true);
 
         // Phase 2 (only if an objective is present).
         let objective_value;
-        if let Some(obj) = &self.objective {
-            let mut cost = vec![Rat::zero(); total_cols];
-            for (v, c) in obj.coeffs() {
-                cost[col_of_pos[v]] += c;
-                if let Some(&neg) = col_of_neg.get(v) {
-                    cost[neg] -= c;
-                }
-            }
-            if !simplex(&mut rows, &mut rhs, &mut basis, &cost, &banned) {
+        if let Some(cost) = self.cost_vector(&map, total_cols) {
+            if !simplex_dense(&mut rows, &mut rhs, &mut basis, &cost, &banned) {
                 return LpResult::Unbounded;
             }
             let basis_value: Rat = basis.iter().enumerate().map(|(i, &b)| &cost[b] * &rhs[i]).sum();
-            objective_value = &basis_value + obj.constant_part();
+            objective_value = &basis_value
+                + self.objective.as_ref().expect("cost implies objective").constant_part();
         } else {
             objective_value = Rat::zero();
         }
@@ -276,23 +638,14 @@ impl LpProblem {
         for (i, &b) in basis.iter().enumerate() {
             col_values[b] = rhs[i].clone();
         }
-        let mut values = BTreeMap::new();
-        for &v in &vars {
-            let pos = col_values[col_of_pos[&v]].clone();
-            let val = match col_of_neg.get(&v) {
-                Some(&neg) => &pos - &col_values[neg],
-                None => pos,
-            };
-            values.insert(v, val);
-        }
-        LpResult::Optimal(LpSolution { values, objective: objective_value })
+        LpResult::Optimal(map.reconstruct(&col_values, objective_value))
     }
 }
 
-/// Runs the simplex method on a tableau that already contains a feasible
-/// basis. Returns `false` if the objective is unbounded below.
+/// Runs the sparse simplex method on a tableau that already contains a
+/// feasible basis. Returns `false` if the objective is unbounded below.
 fn simplex(
-    rows: &mut [Vec<Rat>],
+    rows: &mut [SparseRow],
     rhs: &mut [Rat],
     basis: &mut [usize],
     cost: &[Rat],
@@ -303,6 +656,132 @@ fn simplex(
     // Column membership in the basis as a bitmap: the entering-column scan
     // below runs once per pivot over all n columns, and `basis.contains`
     // would make it O(n·m) in pure bookkeeping.
+    let mut in_basis = vec![false; n];
+    for &b in basis.iter() {
+        in_basis[b] = true;
+    }
+    // Reduced costs r_j = c_j - Σ_i c_{basis[i]} * rows[i][j], computed once
+    // from the rows whose basic variable has non-zero cost and then
+    // maintained incrementally: a pivot transforms the cost row exactly like
+    // any other tableau row (r' = r - r_entering · scaled pivot row), so each
+    // update walks only the pivot row's nonzeros. The maintained vector is
+    // the exact reduced-cost vector of the current basis — the same values
+    // the dense engine recomputes from scratch — so the two engines make
+    // identical Bland's-rule choices.
+    let mut reduced: Vec<Rat> = cost.to_vec();
+    for i in 0..m {
+        let cb = &cost[basis[i]];
+        if cb.is_zero() {
+            continue;
+        }
+        for (j, a) in rows[i].iter() {
+            reduced[j as usize] -= &(cb * a);
+        }
+    }
+    let mut scratch: Vec<(u32, Rat)> = Vec::new();
+    loop {
+        // Bland's rule: first (lowest-index) improving column.
+        let entering = (0..n).find(|&j| !banned[j] && !in_basis[j] && reduced[j].is_negative());
+        let entering = match entering {
+            Some(j) => j,
+            None => return true, // optimal
+        };
+        // Ratio test.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio: Option<Rat> = None;
+        for (i, row) in rows.iter().enumerate() {
+            let Some(a) = row.get(entering as u32) else { continue };
+            if !a.is_positive() {
+                continue;
+            }
+            let ratio = &rhs[i] / a;
+            let better = match &best_ratio {
+                None => true,
+                Some(b) => {
+                    ratio < *b
+                        || (ratio == *b
+                            && basis[i] < basis[leaving.expect("leaving set with best_ratio")])
+                }
+            };
+            if better {
+                best_ratio = Some(ratio);
+                leaving = Some(i);
+            }
+        }
+        let leaving = match leaving {
+            Some(i) => i,
+            None => return false, // unbounded
+        };
+        in_basis[basis[leaving]] = false;
+        in_basis[entering] = true;
+        pivot(rows, rhs, basis, leaving, entering, &mut scratch);
+        // Eliminate the entering column from the cost row: taking the factor
+        // zeroes r_entering, which is exactly its post-pivot value (the
+        // scaled pivot row holds 1 there).
+        let factor = std::mem::take(&mut reduced[entering]);
+        for (j, p) in rows[leaving].iter() {
+            if j as usize != entering {
+                reduced[j as usize] -= &(&factor * p);
+            }
+        }
+    }
+}
+
+/// Pivots the sparse tableau so that column `col` becomes basic in row `row`.
+///
+/// The pivot row is scaled in place (nonzeros only); every elimination is a
+/// sorted-merge of the target row with the pivot row, so it touches exactly
+/// the union of their nonzero columns and nothing else.
+fn pivot(
+    rows: &mut [SparseRow],
+    rhs: &mut [Rat],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    scratch: &mut Vec<(u32, Rat)>,
+) {
+    let m = rows.len();
+    let colu = col as u32;
+    let inv = rows[row].get(colu).expect("pivot on zero element").recip();
+    if !inv.is_one() {
+        rows[row].scale(&inv);
+        rhs[row] *= &inv;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        // Taking the entry zeroes rows[i][col], which is exactly the value
+        // elimination assigns to it (rows[row][col] == 1 after scaling).
+        let factor = match rows[i].take(colu) {
+            Some(f) => f,
+            None => continue,
+        };
+        let (pivot_row, target_row) = if i < row {
+            let (lo, hi) = rows.split_at_mut(row);
+            (&hi[0], &mut lo[i])
+        } else {
+            let (lo, hi) = rows.split_at_mut(i);
+            (&lo[row], &mut hi[0])
+        };
+        target_row.eliminate(&factor, pivot_row, colu, scratch);
+        let delta = &factor * &rhs[row];
+        rhs[i] -= &delta;
+    }
+    basis[row] = col;
+}
+
+/// Runs the dense reference simplex on a tableau that already contains a
+/// feasible basis. Returns `false` if the objective is unbounded below.
+fn simplex_dense(
+    rows: &mut [Vec<Rat>],
+    rhs: &mut [Rat],
+    basis: &mut [usize],
+    cost: &[Rat],
+    banned: &[bool],
+) -> bool {
+    let m = rows.len();
+    let n = cost.len();
     let mut in_basis = vec![false; n];
     for &b in basis.iter() {
         in_basis[b] = true;
@@ -359,16 +838,22 @@ fn simplex(
         };
         in_basis[basis[leaving]] = false;
         in_basis[entering] = true;
-        pivot(rows, rhs, basis, leaving, entering);
+        pivot_dense(rows, rhs, basis, leaving, entering);
     }
 }
 
-/// Pivots the tableau so that column `col` becomes basic in row `row`.
+/// Pivots the dense tableau so that column `col` becomes basic in row `row`.
 ///
 /// Clone-free: the pivot row is scaled in place, and every elimination walks
 /// only the non-zero entries of the pivot row (the tableau rows produced by
 /// the Farkas/Handelman encodings are sparse, so this skips most columns).
-fn pivot(rows: &mut [Vec<Rat>], rhs: &mut [Rat], basis: &mut [usize], row: usize, col: usize) {
+fn pivot_dense(
+    rows: &mut [Vec<Rat>],
+    rhs: &mut [Rat],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+) {
     let m = rows.len();
     debug_assert!(!rows[row][col].is_zero(), "pivot on zero element");
     let inv = rows[row][col].recip();
@@ -412,7 +897,8 @@ fn pivot(rows: &mut [Vec<Rat>], rhs: &mut [Rat], basis: &mut [usize], row: usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use revterm_num::{rat, ratio};
+    use crate::rng::SplitMix64;
+    use revterm_num::{rat, ratio, Rat};
 
     fn e(c: i64) -> LinExpr {
         LinExpr::constant(rat(c))
@@ -516,6 +1002,7 @@ mod tests {
         lp.add_constraint(v(0), Rel::Ge);
         lp.set_objective(-v(0));
         assert_eq!(lp.solve(), LpResult::Unbounded);
+        assert_eq!(lp.solve_dense(), LpResult::Unbounded);
     }
 
     #[test]
@@ -574,5 +1061,141 @@ mod tests {
         let sol = lp.solve().solution().unwrap().clone();
         assert_eq!(sol.value(Var(0)), rat(5));
         assert_eq!(sol.objective().clone(), rat(-5));
+    }
+
+    // -----------------------------------------------------------------------
+    // SparseRow invariants and kernels.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn sparse_row_construction_and_lookup() {
+        let row = SparseRow::from_entries(vec![
+            (7, rat(3)),
+            (2, rat(1)),
+            (7, rat(-3)), // cancels the first entry
+            (4, rat(0)),  // explicit zero is dropped
+            (9, ratio(1, 2)),
+        ]);
+        assert_eq!(row.nnz(), 2);
+        assert_eq!(row.get(2), Some(&rat(1)));
+        assert_eq!(row.get(7), None);
+        assert_eq!(row.get(4), None);
+        assert_eq!(row.get(9), Some(&ratio(1, 2)));
+        let cols: Vec<u32> = row.iter().map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![2, 9]);
+        assert!(SparseRow::new().is_empty());
+    }
+
+    #[test]
+    fn sparse_row_eliminate_matches_dense_axpy() {
+        let mut rng = SplitMix64::new(0xE11E);
+        for _ in 0..200 {
+            let n = 12u32;
+            let dense_of = |row: &SparseRow| -> Vec<Rat> {
+                let mut out = vec![Rat::zero(); n as usize];
+                for (c, v) in row.iter() {
+                    out[c as usize] = v.clone();
+                }
+                out
+            };
+            let random_row = |rng: &mut SplitMix64, must: u32, at: &Rat| -> SparseRow {
+                let mut entries = vec![(must, at.clone())];
+                for _ in 0..rng.next_below(6) {
+                    let c = rng.next_below(n as u64) as u32;
+                    let v = rng.next_in_range(-4, 4);
+                    if v != 0 && c != must {
+                        entries.push((c, rat(v)));
+                    }
+                }
+                SparseRow::from_entries(entries)
+            };
+            let col = rng.next_below(n as u64) as u32;
+            let pivot_row = random_row(&mut rng, col, &Rat::one());
+            let factor = rat(rng.next_in_range(-3, 3));
+            let mut target = random_row(&mut rng, col, &factor);
+            if factor.is_zero() {
+                continue;
+            }
+            let expect: Vec<Rat> = dense_of(&target)
+                .iter()
+                .zip(dense_of(&pivot_row).iter())
+                .map(|(t, p)| t - &(&factor * p))
+                .collect();
+            let taken = target.take(col).expect("target holds factor at col");
+            assert_eq!(taken, factor);
+            let mut scratch = Vec::new();
+            target.eliminate(&factor, &pivot_row, col, &mut scratch);
+            assert_eq!(dense_of(&target), expect);
+            // Invariants: sorted, no explicit zeros, col cancelled.
+            let cols: Vec<u32> = target.iter().map(|(c, _)| c).collect();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "columns not strictly ascending");
+            assert!(target.iter().all(|(_, v)| !v.is_zero()));
+            assert_eq!(target.get(col), None);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Sparse vs dense differential testing.
+    // -----------------------------------------------------------------------
+
+    /// Builds a random Farkas-flavoured system: equality/inequality rows of
+    /// 1–3 nonzeros over a mix of free and non-negative variables, half the
+    /// time with an objective.
+    fn random_lp(rng: &mut SplitMix64, with_objective: bool) -> LpProblem {
+        let n_vars = 2 + rng.next_below(5) as usize;
+        let n_rows = 2 + rng.next_below(7) as usize;
+        let mut lp = LpProblem::new();
+        for v in 0..n_vars {
+            let kind = if rng.next_below(3) == 0 { VarKind::Free } else { VarKind::NonNegative };
+            lp.set_var_kind(Var(v as u32), kind);
+        }
+        for _ in 0..n_rows {
+            let mut expr =
+                LinExpr::constant(Rat::packed(rng.next_in_range(-8, 8), rng.next_in_range(1, 4)));
+            for _ in 0..(1 + rng.next_below(3)) {
+                let var = rng.next_below(n_vars as u64) as u32;
+                let c = rng.next_in_range(-5, 5);
+                if c != 0 {
+                    expr.add_coeff(Var(var), rat(c));
+                }
+            }
+            let rel = match rng.next_below(3) {
+                0 => Rel::Eq,
+                1 => Rel::Ge,
+                _ => Rel::Le,
+            };
+            lp.add_constraint(expr, rel);
+        }
+        if with_objective {
+            let mut obj = LinExpr::zero();
+            for v in 0..n_vars {
+                obj.add_coeff(Var(v as u32), rat(rng.next_in_range(0, 3)));
+            }
+            lp.set_objective(obj);
+        }
+        lp
+    }
+
+    #[test]
+    fn prop_sparse_and_dense_agree_on_random_systems() {
+        // The sparse engine must be indistinguishable from the dense
+        // reference on feasible, infeasible and unbounded instances — not
+        // just the verdict but the exact solution values.
+        let mut rng = SplitMix64::new(0xD1FF_5EED);
+        let (mut feasible, mut infeasible) = (0, 0);
+        for round in 0..120 {
+            let lp = random_lp(&mut rng, round % 2 == 0);
+            let sparse = lp.solve();
+            let dense = lp.solve_dense();
+            assert_eq!(sparse, dense, "sparse vs dense diverged on:\n{lp}");
+            match sparse {
+                LpResult::Optimal(_) => feasible += 1,
+                LpResult::Infeasible => infeasible += 1,
+                LpResult::Unbounded => {}
+            }
+        }
+        // The generator must actually exercise both exits.
+        assert!(feasible > 10, "generator produced too few feasible systems");
+        assert!(infeasible > 10, "generator produced too few infeasible systems");
     }
 }

@@ -31,6 +31,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Docs gate: rustdoc must be warning-free (this catches broken intra-doc
+# links workspace-wide, which plain builds do not).
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 
