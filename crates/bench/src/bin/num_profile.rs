@@ -8,24 +8,26 @@
 //!   feasibility/optimisation problems and entailment chains solved through
 //!   [`revterm_solver::LpProblem`]. This spends essentially all of its time
 //!   in `Rat`/`Int` arithmetic inside simplex pivoting, so it isolates the
-//!   arithmetic tower from prover logic. The whole workload runs **twice**:
-//!   once through the sparse simplex engine (`solve`) and once through the
-//!   dense reference engine (`solve_dense`), with separate timings and
-//!   digests.
+//!   arithmetic tower from prover logic. The whole workload runs **three
+//!   times**: through the revised simplex (`solve_revised`, the default
+//!   engine), the sparse tableau (`solve`) and the dense reference tableau
+//!   (`solve_dense`), with separate timings and digests.
 //! * **Degree-1 sweep** — the paper's running example swept over the
 //!   24-cell degree-1 configuration grid: fresh per-configuration `prove`
-//!   calls through the sparse engine, the same fresh sweep with the
-//!   dense-LP differential knob set, and a warm [`revterm::ProverSession`]
-//!   (mirroring `session_vs_fresh`).
+//!   calls through each of the three LP engines, and a warm
+//!   [`revterm::ProverSession`] (mirroring `session_vs_fresh`) whose
+//!   revised-simplex warm-start counters are reported alongside the
+//!   timings.
 //!
 //! Every workload folds its results into an FNV-1a digest. The digests are
 //! pure functions of the computed values, so two runs (or two engines, or
 //! two builds) that print the same digest produced bitwise-identical LP
 //! solutions and prover verdicts — this is how both the "optimisations must
-//! not change any verdict" and the "sparse and dense simplex are
+//! not change any verdict" and the "all three simplex engines are
 //! indistinguishable" acceptance criteria are checked on every run. The
-//! process exits non-zero if any sparse/dense or fresh/sessioned comparison
-//! diverges.
+//! process exits non-zero if any engine digest or fresh/sessioned verdict
+//! comparison diverges, or if the sessioned sweep reports a zero
+//! warm-start hit rate (the revised engine's whole point).
 //!
 //! ```text
 //! cargo run --release -p revterm-bench --bin num_profile [lp_iters]
@@ -34,7 +36,7 @@
 use revterm::{degree1_sweep, prove, ProverSession};
 use revterm_num::{rat, Rat};
 use revterm_poly::{LinExpr, Poly, Var};
-use revterm_solver::{entails_with_witness, EntailmentOptions, LpProblem, Rel, VarKind};
+use revterm_solver::{entails_with_witness, EntailmentOptions, LpEngine, LpProblem, Rel, VarKind};
 use std::time::Instant;
 
 /// SplitMix64 — the workspace-standard deterministic generator.
@@ -148,13 +150,16 @@ fn run_microloop(
     problems: &[LpProblem],
     queries: &[(Vec<Poly>, Poly)],
     opts: &EntailmentOptions,
-    dense: bool,
 ) -> (usize, f64, u64) {
     let mut digest = Fnv::new();
     let mut feasible = 0usize;
     let start = Instant::now();
     for lp in problems {
-        let result = if dense { lp.solve_dense() } else { lp.solve() };
+        let result = match opts.lp_engine {
+            LpEngine::Revised => lp.solve_revised(),
+            LpEngine::SparseTableau => lp.solve(),
+            LpEngine::Dense => lp.solve_dense(),
+        };
         match result.solution() {
             Some(sol) => {
                 feasible += 1;
@@ -192,11 +197,16 @@ fn main() {
     // --- LP-heavy microloop -------------------------------------------------
     // Two deterministic problem families, fixed up front so only the solving
     // is timed: raw simplex instances, and Farkas entailment chains (the
-    // shape the prover's consecution checks produce). Both run through the
-    // sparse engine and the dense reference engine.
-    let opts = EntailmentOptions::linear();
-    let mut dense_opts = EntailmentOptions::linear();
-    dense_opts.use_dense_lp = true;
+    // shape the prover's consecution checks produce). Both run through all
+    // three LP engines.
+    let with_engine = |engine: LpEngine| {
+        let mut o = EntailmentOptions::linear();
+        o.lp_engine = engine;
+        o
+    };
+    let opts = with_engine(LpEngine::Revised);
+    let sparse_opts = with_engine(LpEngine::SparseTableau);
+    let dense_opts = with_engine(LpEngine::Dense);
     let mut problems = Vec::new();
     let mut queries = Vec::new();
     {
@@ -214,10 +224,15 @@ fn main() {
             }
         }
     }
-    let (feasible, lp_secs, lp_digest) = run_microloop(&problems, &queries, &opts, false);
+    let (feasible, lp_secs, lp_digest) = run_microloop(&problems, &queries, &opts);
+    let (sparse_feasible, lp_sparse_secs, lp_sparse_digest) =
+        run_microloop(&problems, &queries, &sparse_opts);
     let (dense_feasible, lp_dense_secs, lp_dense_digest) =
-        run_microloop(&problems, &queries, &dense_opts, true);
-    let lp_digests_match = lp_digest == lp_dense_digest && feasible == dense_feasible;
+        run_microloop(&problems, &queries, &dense_opts);
+    let lp_digests_match = lp_digest == lp_sparse_digest
+        && lp_digest == lp_dense_digest
+        && feasible == sparse_feasible
+        && feasible == dense_feasible;
 
     // --- Degree-1 sweep on the running example ------------------------------
     let suite = revterm_suite::full_suite();
@@ -227,30 +242,40 @@ fn main() {
         .expect("paper_fig1_running missing from suite");
     let ts = bench.transition_system();
     let configs = degree1_sweep();
-    // The same grid with the dense-LP differential knob set on every cell.
-    let dense_configs: Vec<_> = configs
-        .iter()
-        .map(|c| {
-            let mut c = c.clone();
-            c.entailment.use_dense_lp = true;
-            c
-        })
-        .collect();
+    // The same grid with the LP engine forced on every cell (the default is
+    // already Revised; the explicit variants keep the comparison honest even
+    // if the default changes).
+    let engine_configs = |engine: LpEngine| -> Vec<_> {
+        configs
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.entailment.lp_engine = engine;
+                c
+            })
+            .collect()
+    };
 
-    let fresh_start = Instant::now();
-    let fresh: Vec<bool> = configs.iter().map(|c| prove(&ts, c).is_non_terminating()).collect();
-    let sweep_fresh_secs = fresh_start.elapsed().as_secs_f64();
-
-    let dense_start = Instant::now();
-    let dense: Vec<bool> =
-        dense_configs.iter().map(|c| prove(&ts, c).is_non_terminating()).collect();
-    let sweep_dense_secs = dense_start.elapsed().as_secs_f64();
+    let sweep_with = |grid: &[revterm::ProverConfig]| -> (Vec<bool>, f64) {
+        let start = Instant::now();
+        let verdicts: Vec<bool> = grid.iter().map(|c| prove(&ts, c).is_non_terminating()).collect();
+        (verdicts, start.elapsed().as_secs_f64())
+    };
+    let (fresh, sweep_fresh_secs) = sweep_with(&engine_configs(LpEngine::Revised));
+    let (sparse, sweep_sparse_secs) = sweep_with(&engine_configs(LpEngine::SparseTableau));
+    let (dense, sweep_dense_secs) = sweep_with(&engine_configs(LpEngine::Dense));
 
     let mut session = ProverSession::new(ts);
     let session_start = Instant::now();
     let report = session.sweep(&configs, usize::MAX);
     let sweep_session_secs = session_start.elapsed().as_secs_f64();
     let sessioned: Vec<bool> = report.outcomes.iter().map(|o| o.proved).collect();
+    let lp_stats = session.stats().aggregate.lp;
+    let warm_hit_rate = if lp_stats.warm_lookups == 0 {
+        0.0
+    } else {
+        lp_stats.warm_hits as f64 / lp_stats.warm_lookups as f64
+    };
 
     let digest_of = |verdicts: &[bool]| {
         let mut d = Fnv::new();
@@ -260,25 +285,37 @@ fn main() {
         d.0
     };
     let verdict_digest = digest_of(&fresh);
+    let verdict_sparse_digest = digest_of(&sparse);
     let verdict_dense_digest = digest_of(&dense);
-    let verdict_digests_match = verdict_digest == verdict_dense_digest;
+    let verdict_digests_match =
+        verdict_digest == verdict_sparse_digest && verdict_digest == verdict_dense_digest;
     let verdicts_match = fresh == sessioned;
 
     println!(
-        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{}}}",
+        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_sparse_secs\":{:.3},\"lp_sparse_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_sparse_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"session_lp_solves\":{},\"session_lp_pivots\":{},\"session_lp_refactorizations\":{},\"session_warm_lookups\":{},\"session_warm_hits\":{},\"session_warm_hit_rate\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_sparse_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{}}}",
         problems.len() + queries.len(),
         feasible,
         lp_secs,
         lp_digest,
+        lp_sparse_secs,
+        lp_sparse_digest,
         lp_dense_secs,
         lp_dense_digest,
         lp_digests_match,
         bench.name,
         configs.len(),
         sweep_fresh_secs,
+        sweep_sparse_secs,
         sweep_dense_secs,
         sweep_session_secs,
+        lp_stats.solves,
+        lp_stats.pivots,
+        lp_stats.refactorizations,
+        lp_stats.warm_lookups,
+        lp_stats.warm_hits,
+        warm_hit_rate,
         verdict_digest,
+        verdict_sparse_digest,
         verdict_dense_digest,
         verdict_digests_match,
         verdicts_match,
@@ -286,15 +323,19 @@ fn main() {
 
     let mut failed = false;
     if !lp_digests_match {
-        eprintln!("FAIL: dense LP solutions diverged from sparse LP solutions");
+        eprintln!("FAIL: the three LP engines produced diverging solutions");
         failed = true;
     }
     if !verdict_digests_match {
-        eprintln!("FAIL: dense-LP sweep verdicts diverged from sparse-LP verdicts");
+        eprintln!("FAIL: sweep verdicts diverged across the three LP engines");
         failed = true;
     }
     if !verdicts_match {
         eprintln!("FAIL: sessioned verdicts diverged from fresh verdicts");
+        failed = true;
+    }
+    if lp_stats.warm_hits == 0 {
+        eprintln!("FAIL: the sessioned sweep never hit the warm-start basis cache");
         failed = true;
     }
     if failed {

@@ -27,25 +27,35 @@
 //! are FNV-1a hashes folded over the decimal renderings of every computed
 //! value, so equal digests mean **bitwise-identical** results (same exact
 //! rationals, not just same verdicts) — across runs, across commits, and
-//! between the sparse and dense LP engines.
+//! across all three LP engines (revised, sparse tableau, dense tableau).
 //!
 //! | field | meaning |
 //! |---|---|
 //! | `lp_problems` | number of LP instances + entailment-chain queries in the microloop |
 //! | `lp_feasible` | how many of those were feasible/entailed (workload shape check) |
-//! | `lp_secs` | seconds for the whole microloop through the sparse engine ([`revterm_solver::LpProblem::solve`]) |
-//! | `lp_digest` | FNV-1a digest of every LP solution and Farkas witness from the sparse run |
+//! | `lp_secs` | seconds for the whole microloop through the revised engine ([`revterm_solver::LpProblem::solve_revised`], the default) |
+//! | `lp_digest` | FNV-1a digest of every LP solution and Farkas witness from the revised run |
+//! | `lp_sparse_secs` | same workload through the sparse tableau ([`revterm_solver::LpProblem::solve`]) |
+//! | `lp_sparse_digest` | digest of the sparse-tableau run; must equal `lp_digest` |
 //! | `lp_dense_secs` | same workload through the dense reference engine ([`revterm_solver::LpProblem::solve_dense`]) |
 //! | `lp_dense_digest` | digest of the dense run; must equal `lp_digest` |
-//! | `lp_digests_match` | `lp_digest == lp_dense_digest` (process exits 1 when false) |
+//! | `lp_digests_match` | three-way digest agreement (process exits 1 when false) |
 //! | `sweep_benchmark` | benchmark used for the sweep workload (the paper's running example) |
 //! | `sweep_configs` | number of degree-1 grid cells swept (24) |
-//! | `sweep_fresh_secs` | fresh per-configuration `prove` calls, sparse LP |
-//! | `sweep_dense_secs` | the same fresh sweep with the dense-LP differential knob set on every configuration |
+//! | `sweep_fresh_secs` | fresh per-configuration `prove` calls, revised engine |
+//! | `sweep_sparse_secs` | the same fresh sweep forced onto the sparse tableau |
+//! | `sweep_dense_secs` | the same fresh sweep forced onto the dense tableau |
 //! | `sweep_session_secs` | the same grid through one warm [`revterm::ProverSession`] |
-//! | `verdict_digest` | digest of the per-cell fresh verdicts (sparse) |
-//! | `verdict_dense_digest` | digest of the dense-LP sweep verdicts; must equal `verdict_digest` |
-//! | `verdict_digests_match` | sparse/dense sweep agreement (exit 1 when false) |
+//! | `session_lp_solves` | LP solves issued by the sessioned sweep ([`revterm::ProveStats::lp`] totals) |
+//! | `session_lp_pivots` | simplex pivots across those solves |
+//! | `session_lp_refactorizations` | warm-start basis refactorizations |
+//! | `session_warm_lookups` | solves that consulted the session [`revterm_solver::BasisCache`] |
+//! | `session_warm_hits` | of those, resumed from a stored basis (exit 1 when zero) |
+//! | `session_warm_hit_rate` | `session_warm_hits / session_warm_lookups` |
+//! | `verdict_digest` | digest of the per-cell fresh verdicts (revised engine) |
+//! | `verdict_sparse_digest` | digest of the sparse-tableau sweep verdicts; must equal `verdict_digest` |
+//! | `verdict_dense_digest` | digest of the dense-tableau sweep verdicts; must equal `verdict_digest` |
+//! | `verdict_digests_match` | three-way sweep agreement (exit 1 when false) |
 //! | `verdicts_match` | fresh vs sessioned verdict agreement (exit 1 when false) |
 //!
 //! ## `session_vs_fresh` (one JSON object per benchmark)
@@ -65,6 +75,11 @@
 //! | `entailment_cache_hits` | of those, answered from [`revterm_solver::EntailmentCache`] |
 //! | `probe_cache_hits` | divergence-probe results reused across cells |
 //! | `artifact_cache_hits` | resolutions/initials/pools/systems reused across cells |
+//! | `lp_solves` | LP solves issued by the sessioned sweep |
+//! | `lp_pivots` | simplex pivots across those solves |
+//! | `lp_refactorizations` | warm-start basis refactorizations |
+//! | `lp_warm_lookups` | solves that consulted the session [`revterm_solver::BasisCache`] |
+//! | `lp_warm_hits` | of those, resumed from a stored optimal basis |
 
 #![forbid(unsafe_code)]
 

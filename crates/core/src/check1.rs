@@ -13,6 +13,7 @@ use revterm_poly::Poly;
 use revterm_safety::{find_initial_valuations, ndet_candidate_values};
 use revterm_ts::interp::{run, Config, Valuation};
 use revterm_ts::{Resolution, TransitionSystem};
+use std::sync::Arc;
 
 /// Enumerates candidate resolutions of non-determinism: every combination
 /// (capped) of candidate polynomials for the non-deterministic assignment
@@ -121,7 +122,7 @@ pub(crate) fn check1_cached(
         return None;
     }
     let resolutions = caches.resolutions_for(ts, config, stats);
-    let Caches { entail, restricted, .. } = caches;
+    let Caches { entail, lp_basis, restricted, .. } = caches;
     let mut synthesis_budget = 8usize;
     for resolution in resolutions {
         let entry = memo(
@@ -186,7 +187,14 @@ pub(crate) fn check1_cached(
                         samples.add(cfg.loc, cfg.vals.clone());
                     }
                     stats.synthesis_calls += 1;
-                    synthesize_invariant_cached(restricted_system, &samples, &options, pool, entail)
+                    synthesize_invariant_cached(
+                        restricted_system,
+                        &samples,
+                        &options,
+                        pool,
+                        entail,
+                        lp_basis,
+                    )
                 },
             )
             .clone();
@@ -199,7 +207,8 @@ pub(crate) fn check1_cached(
                     invariant.at(t.source).disjuncts().iter().all(|d| {
                         let mut premises: Vec<Poly> = d.atoms().to_vec();
                         premises.extend(t.relation.atoms().iter().cloned());
-                        entail.implies_false(&premises, &config.entailment)
+                        let premises: Arc<[Poly]> = premises.into();
+                        entail.implies_false(&premises, &config.entailment, lp_basis)
                     })
                 });
             if !blocked {

@@ -42,7 +42,7 @@ pub(crate) fn check2_cached(
     stats: &mut ProveStats,
 ) -> Option<NonTerminationCertificate> {
     let resolutions = caches.resolutions_for(ts, config, stats);
-    let Caches { entail, base_pool, forward_samples, tilde, restricted, .. } = caches;
+    let Caches { entail, lp_basis, base_pool, forward_samples, tilde, restricted, .. } = caches;
 
     // Step 1: a conjunctive invariant Ĩ of the full system, seeded with
     // concretely reachable samples.
@@ -67,8 +67,14 @@ pub(crate) fn check2_cached(
                 sample_set.add(cfg.loc, cfg.vals.clone());
             }
             stats.synthesis_calls += 1;
-            let map =
-                synthesize_invariant_cached(ts, &sample_set, &tilde_options, base_pool, entail);
+            let map = synthesize_invariant_cached(
+                ts,
+                &sample_set,
+                &tilde_options,
+                base_pool,
+                entail,
+                lp_basis,
+            );
             let theta: Assertion = match map.at(ts.terminal_loc()).disjuncts() {
                 [single] => single.clone(),
                 _ => Assertion::tautology(),
@@ -168,6 +174,7 @@ pub(crate) fn check2_cached(
                     &bi_options,
                     reversed_pool,
                     entail,
+                    lp_basis,
                 )
             },
         )

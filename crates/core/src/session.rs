@@ -24,7 +24,7 @@ use crate::sweep::{ConfigOutcome, SweepReport};
 use revterm_invgen::{PoolCache, SampleSet};
 use revterm_lang::Program;
 use revterm_safety::SearchBounds;
-use revterm_solver::EntailmentCache;
+use revterm_solver::{BasisCache, EntailmentCache, LpStats};
 use revterm_ts::interp::{Config, Valuation};
 use revterm_ts::{lower, Assertion, PredicateMap, Resolution, TransitionSystem};
 use std::collections::HashMap;
@@ -61,6 +61,9 @@ pub struct ProveStats {
     pub artifact_cache_hits: u64,
     /// Derived artifacts that had to be computed.
     pub artifact_cache_misses: u64,
+    /// LP engine counters (solves, pivots, warm-start hits) for the queries
+    /// this call routed through the session's basis cache.
+    pub lp: LpStats,
 }
 
 impl ProveStats {
@@ -74,6 +77,7 @@ impl ProveStats {
         self.probe_cache_misses += other.probe_cache_misses;
         self.artifact_cache_hits += other.artifact_cache_hits;
         self.artifact_cache_misses += other.artifact_cache_misses;
+        self.lp.accumulate(&other.lp);
     }
 
     /// Total cache hits across all memo layers.
@@ -194,6 +198,10 @@ pub(crate) struct Caches {
     /// Global entailment memo (keyed purely on polynomials, so it is shared
     /// across the base, restricted and reversed systems).
     pub entail: EntailmentCache,
+    /// Optimal-basis memo for the revised simplex, keyed on the structural
+    /// shape of each entailment LP so that repeated Houdini queries warm-start
+    /// instead of re-running phase 1 (see `revterm_solver::lp`).
+    pub lp_basis: BasisCache,
     /// Atom-pool artifacts of the base system (Check 2's `Ĩ` synthesis).
     pub base_pool: PoolCache,
     /// Candidate resolutions keyed by `(grid, resolution degree, cap)`.

@@ -278,7 +278,7 @@ pub fn candidate_atoms_cached(
         // of shape(sample); candidate atom is shape - k >= 0.
         let sample_min: Option<Rat> = locals
             .iter()
-            .map(|v| shape.eval(&|var: Var| Rat::from(v.get(var.index()).clone())))
+            .map(|v| shape.eval_at_int_point(&|var: Var| v.get(var.index()).clone()))
             .min();
         let mut thresholds: Vec<Rat> = constants.iter().map(|c| Rat::from(c.clone())).collect();
         if let Some(m) = &sample_min {
@@ -306,14 +306,17 @@ pub fn candidate_atoms_cached(
     if params.c >= 3 {
         for atom in cache.guard_atoms.as_deref().expect("prepare fills guard atoms") {
             let ok = locals.iter().all(|v| {
-                !atom.eval(&|var: Var| Rat::from(v.get(var.index()).clone())).is_negative()
+                !atom.eval_at_int_point(&|var: Var| v.get(var.index()).clone()).is_negative()
             });
             if ok {
                 pool.push(atom.clone());
             }
         }
     }
-    pool.sort_by_key(|p| format!("{p}"));
+    // Cached keys: rendering each polynomial once (instead of on every
+    // comparison) keeps the same deterministic order at a fraction of the
+    // cost.
+    pool.sort_by_cached_key(|p| format!("{p}"));
     pool.dedup();
     pool
 }

@@ -3,8 +3,9 @@
 use crate::atoms::{candidate_atoms_cached, PoolCache, SampleSet, TemplateParams};
 use crate::verify::{is_inductive, predicate_entails};
 use revterm_poly::Poly;
-use revterm_solver::{EntailmentCache, EntailmentOptions};
+use revterm_solver::{BasisCache, EntailmentCache, EntailmentOptions};
 use revterm_ts::{Assertion, Loc, PredicateMap, PropPredicate, TransitionSystem};
+use std::sync::Arc;
 
 /// Options controlling [`synthesize_invariant`].
 #[derive(Debug, Clone)]
@@ -58,24 +59,29 @@ pub fn synthesize_invariant(
         options,
         &mut PoolCache::new(),
         &mut EntailmentCache::new(),
+        &mut BasisCache::new(),
     )
 }
 
 /// [`synthesize_invariant`] with the candidate-pool artifacts served from a
-/// [`PoolCache`] and every entailment query memoized in an
-/// [`EntailmentCache`].
+/// [`PoolCache`], every entailment query memoized in an [`EntailmentCache`],
+/// and the underlying LPs warm-started from a [`BasisCache`].
 ///
-/// Produces a bitwise-identical predicate map (both caches are pure memo
-/// tables); the pool cache must belong to `ts`, while the entailment cache is
-/// keyed purely on polynomials and may be shared across systems.  The
+/// Produces a bitwise-identical predicate map (all three caches are pure memo
+/// tables — the basis cache can change which optimal vertex an LP reports,
+/// but never the feasibility verdict the entailment layer consumes); the pool
+/// cache must belong to `ts`, while the entailment and basis caches are keyed
+/// purely on polynomials and may be shared across systems.  The
 /// session-centric prover API threads long-lived caches through here so that
-/// configuration sweeps discharge each recurring consecution obligation once.
+/// configuration sweeps discharge each recurring consecution obligation once
+/// and skip simplex phase 1 on structurally repeated LPs.
 pub fn synthesize_invariant_cached(
     ts: &TransitionSystem,
     samples: &SampleSet,
     options: &SynthesisOptions,
     pool: &mut PoolCache,
     entail: &mut EntailmentCache,
+    lp_basis: &mut BasisCache,
 ) -> PredicateMap {
     let mut atom_sets: Vec<Vec<Poly>> = ts
         .locations()
@@ -90,11 +96,11 @@ pub fn synthesize_invariant_cached(
 
     // Initiation pruning: atoms at ℓ_init must follow from Θ_init.
     if options.require_initiation {
-        let theta: Vec<Poly> = ts.init_assertion().atoms().to_vec();
+        let theta: Arc<[Poly]> = ts.init_assertion().atoms().to_vec().into();
         let init = ts.init_loc();
         atom_sets[init.0].retain(|atom| {
-            entail.entails(&theta, atom, &options.entailment)
-                || entail.implies_false(&theta, &options.entailment)
+            entail.entails(&theta, atom, &options.entailment, lp_basis)
+                || entail.implies_false(&theta, &options.entailment, lp_basis)
         });
     }
 
@@ -109,8 +115,13 @@ pub fn synthesize_invariant_cached(
             if atom_sets[t.target.0].is_empty() {
                 continue;
             }
-            let mut premises: Vec<Poly> = atom_sets[t.source.0].clone();
-            premises.extend(t.relation.atoms().iter().cloned());
+            let mut premise_vec: Vec<Poly> = atom_sets[t.source.0].clone();
+            premise_vec.extend(t.relation.atoms().iter().cloned());
+            // One shared allocation for the whole atom batch: the entailment
+            // cache compares stored premises by `Arc::ptr_eq` first, and the
+            // LP basis cache keys on the premise structure, so every atom of
+            // this transition after the first warm-starts its LP.
+            let premises: Arc<[Poly]> = premise_vec.into();
             // If the premises are unsatisfiable nothing needs to be dropped.
             let target = t.target.0;
             let before = atom_sets[target].len();
@@ -129,6 +140,7 @@ pub fn synthesize_invariant_cached(
                             &premises,
                             &primed,
                             &adaptive(&premises, &primed, &options.entailment),
+                            lp_basis,
                         )
                 })
                 .cloned()
@@ -139,6 +151,7 @@ pub fn synthesize_invariant_cached(
                 if entail.implies_false(
                     &premises,
                     &adaptive(&premises, &Poly::one(), &options.entailment),
+                    lp_basis,
                 ) {
                     continue;
                 }
@@ -186,7 +199,7 @@ fn adaptive(premises: &[Poly], conclusion: &Poly, base: &EntailmentOptions) -> E
         .unwrap_or(0);
     if deg <= 1 {
         // Restrict only the product budget; non-budget fields (unsat
-        // fallback, the dense-LP differential knob) keep the caller's values.
+        // fallback, the LP-engine selector) keep the caller's values.
         base.linearized()
     } else {
         base.clone()

@@ -144,7 +144,9 @@ pub fn monomials_up_to_degree(vars: &[Var], max_degree: u32) -> Vec<Monomial> {
     result.sort();
     result.dedup();
     // Sort by (degree, lexicographic) for readability and determinism.
-    result.sort_by_key(|m| (m.degree(), m.clone()));
+    // Compare by reference: a sort key of `(degree, clone)` would clone
+    // every monomial O(n log n) times.
+    result.sort_by(|a, b| a.degree().cmp(&b.degree()).then_with(|| a.cmp(b)));
     result
 }
 

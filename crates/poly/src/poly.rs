@@ -168,11 +168,29 @@ impl Poly {
         acc
     }
 
+    /// Evaluates the polynomial at an integer point.
+    ///
+    /// Equivalent to `eval(&|v| Rat::from(assignment(v)))` but each monomial
+    /// is evaluated in plain integer arithmetic, so only one rational
+    /// multiply-add (with its gcd normalisation) is paid per term instead of
+    /// one per variable power.  The interpreter calls this on every guard
+    /// atom of every step, which makes the difference measurable.
+    pub fn eval_at_int_point(&self, assignment: &dyn Fn(Var) -> Int) -> Rat {
+        let mut acc = Rat::zero();
+        for (m, c) in &self.terms {
+            let mut mv = Int::one();
+            for (v, e) in m.iter() {
+                mv *= &assignment(v).pow(e);
+            }
+            acc += &(c * &Rat::from(mv));
+        }
+        acc
+    }
+
     /// Evaluates the polynomial under an integer assignment, returning an
     /// integer when all coefficients are integral, and `None` otherwise.
     pub fn eval_int(&self, assignment: &dyn Fn(Var) -> Int) -> Option<Int> {
-        let r = self.eval(&|v| Rat::from(assignment(v)));
-        r.to_int()
+        self.eval_at_int_point(assignment).to_int()
     }
 
     /// Substitutes polynomials for variables: every occurrence of a variable

@@ -21,7 +21,20 @@
 //! premise product, and each row mentions only the products actually
 //! containing its monomial, so the rows have a handful of nonzeros no matter
 //! how many products the budget generates — the shape the sparse simplex
-//! tableau ([`crate::SparseRow`]) is designed around.
+//! engines ([`crate::SparseRow`]) are designed around.
+//!
+//! # Warm starts across the query stream
+//!
+//! Consecutive queries in a Houdini fixpoint share their premise set: the
+//! loop checks every candidate conclusion atom against the same premises
+//! before it drops anything. The multiplier LPs of such a family share their
+//! entire constraint *matrix* (columns = premise products, rows = monomials)
+//! and differ only in right-hand sides (the conclusion's coefficients), so
+//! the oracle keys each LP by a hash of `(products, monomials)` and lets the
+//! revised simplex warm-start from the last optimal basis stored under that
+//! key in a caller-owned [`crate::BasisCache`] — typically skipping phase 1
+//! outright. Engine choice ([`LpEngine`]) and warm starts never change a
+//! verdict or witness; the tableau engines are kept as differential oracles.
 //!
 //! ```
 //! use revterm_poly::{Poly, Var};
@@ -38,9 +51,31 @@
 //! assert_eq!(witness, vec![revterm_num::rat(0), revterm_num::rat(3)]);
 //! ```
 
-use crate::lp::{LpProblem, Rel, VarKind};
+use crate::lp::{BasisCache, LpProblem, Rel, VarKind};
 use revterm_num::Rat;
 use revterm_poly::{LinExpr, Monomial, Poly, Var};
+use std::sync::Arc;
+
+/// Which simplex engine discharges the multiplier LPs.
+///
+/// All three engines return bitwise-identical verdicts and witnesses on
+/// cold solves (same Bland's-rule pivot sequence over exact rationals); the
+/// tableau engines exist as differential oracles for the default, and the
+/// `num_profile` bench bin re-proves the three-way agreement on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LpEngine {
+    /// The revised simplex with the eta-file basis factorization
+    /// ([`LpProblem::solve_revised`]) — the only engine with warm starts,
+    /// and the default.
+    #[default]
+    Revised,
+    /// The sparse tableau ([`LpProblem::solve`]), kept as a differential
+    /// oracle.
+    SparseTableau,
+    /// The dense reference tableau ([`LpProblem::solve_dense`]), the second
+    /// differential oracle.
+    Dense,
+}
 
 /// Options controlling the entailment search.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -54,12 +89,10 @@ pub struct EntailmentOptions {
     /// Also attempt to show that the premises are unsatisfiable over the
     /// reals (in which case any conclusion is entailed).
     pub use_unsat_fallback: bool,
-    /// Differential-testing knob: discharge the multiplier LPs with the
-    /// dense reference simplex ([`LpProblem::solve_dense`]) instead of the
-    /// default sparse engine ([`LpProblem::solve`]). Verdicts and witnesses
-    /// are identical either way — the `num_profile` bench bin flips this
-    /// flag to prove it on every run. Leave `false` outside such harnesses.
-    pub use_dense_lp: bool,
+    /// Which simplex engine discharges the multiplier LPs. Verdicts and
+    /// witnesses do not depend on the choice; only [`LpEngine::Revised`]
+    /// can exploit a [`BasisCache`] for warm starts.
+    pub lp_engine: LpEngine,
 }
 
 impl Default for EntailmentOptions {
@@ -68,7 +101,7 @@ impl Default for EntailmentOptions {
             max_product_size: 2,
             max_product_degree: 4,
             use_unsat_fallback: true,
-            use_dense_lp: false,
+            lp_engine: LpEngine::Revised,
         }
     }
 }
@@ -117,17 +150,39 @@ fn products(premises: &[Poly], opts: &EntailmentOptions) -> Vec<Poly> {
     out
 }
 
+/// Structural key of a multiplier LP for warm-start purposes.
+///
+/// The constraint *matrix* of the LP built by [`combination_witness`] is a
+/// pure function of the product list (one column per product) and the
+/// monomial row set — the conclusion only contributes the constant parts,
+/// i.e. the right-hand sides. Hashing `(products, monomials)` therefore
+/// groups exactly the LPs that share columns and differ in few rows, which
+/// is what makes a stored basis worth re-factorizing: inside one Houdini
+/// fixpoint iteration, every conclusion atom checked against the same
+/// premise set lands on the same key.
+fn structural_key(product_list: &[Poly], monomials: &[Monomial]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    product_list.hash(&mut hasher);
+    monomials.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Searches for a non-negative combination of `products` equal to `target`.
 /// Returns the multipliers (aligned with `products`) if one exists.
 ///
 /// The LP has one row per monomial occurring anywhere and one non-negative
 /// multiplier column per product; a row's nonzeros are exactly the products
 /// containing that monomial, so the constraint expressions stay sparse and
-/// feed the sparse simplex tableau without ever densifying.
+/// feed the sparse simplex engines without ever densifying. With a
+/// [`BasisCache`] and the revised engine, the LP is keyed by
+/// [`structural_key`] and warm-started from the last optimal basis of its
+/// structural family.
 fn combination_witness(
     product_list: &[Poly],
     target: &Poly,
     opts: &EntailmentOptions,
+    lp_cache: Option<&mut BasisCache>,
 ) -> Option<Vec<Rat>> {
     // Multiplier variables λ_j are LP variables Var(j).
     let mut lp = LpProblem::new();
@@ -151,7 +206,14 @@ fn combination_witness(
         }
         lp.add_constraint(expr, Rel::Eq);
     }
-    let result = if opts.use_dense_lp { lp.solve_dense() } else { lp.solve() };
+    let result = match opts.lp_engine {
+        LpEngine::SparseTableau => lp.solve(),
+        LpEngine::Dense => lp.solve_dense(),
+        LpEngine::Revised => match lp_cache {
+            Some(cache) => lp.solve_revised_warm(structural_key(product_list, &monomials), cache),
+            None => lp.solve_revised(),
+        },
+    };
     result.solution().map(|sol| (0..product_list.len()).map(|j| sol.value(Var(j as u32))).collect())
 }
 
@@ -167,6 +229,18 @@ pub fn entails_with_witness(
     conclusion: &Poly,
     opts: &EntailmentOptions,
 ) -> Option<Vec<Rat>> {
+    entails_with_witness_impl(premises, conclusion, opts, None)
+}
+
+/// [`entails_with_witness`] with an optional [`BasisCache`] for LP warm
+/// starts (used by [`EntailmentCache`]; certificate re-validation sticks to
+/// the cache-free entry points so it stays independent of session state).
+fn entails_with_witness_impl(
+    premises: &[Poly],
+    conclusion: &Poly,
+    opts: &EntailmentOptions,
+    mut lp_cache: Option<&mut BasisCache>,
+) -> Option<Vec<Rat>> {
     // Trivial case: the conclusion is a non-negative constant.
     if let Some(c) = conclusion.as_constant() {
         if !c.is_negative() {
@@ -174,10 +248,12 @@ pub fn entails_with_witness(
         }
     }
     let product_list = products(premises, opts);
-    if let Some(witness) = combination_witness(&product_list, conclusion, opts) {
+    if let Some(witness) =
+        combination_witness(&product_list, conclusion, opts, lp_cache.as_deref_mut())
+    {
         return Some(witness);
     }
-    if opts.use_unsat_fallback && implies_false(premises, opts) {
+    if opts.use_unsat_fallback && implies_false_impl(premises, opts, lp_cache) {
         return Some(Vec::new());
     }
     None
@@ -195,6 +271,18 @@ pub fn entails(premises: &[Poly], conclusion: &Poly, opts: &EntailmentOptions) -
 /// the contradiction `-1 ≥ 0` as a non-negative combination of premise
 /// products.
 pub fn implies_false(premises: &[Poly], opts: &EntailmentOptions) -> bool {
+    implies_false_impl(premises, opts, None)
+}
+
+/// [`implies_false`] with an optional [`BasisCache`] for LP warm starts.
+/// The `-1 ≥ 0` query shares its structural key with the entailment queries
+/// over the same premise products (the conclusion only shifts right-hand
+/// sides), so it warm-starts from their bases and vice versa.
+fn implies_false_impl(
+    premises: &[Poly],
+    opts: &EntailmentOptions,
+    lp_cache: Option<&mut BasisCache>,
+) -> bool {
     if premises.iter().any(|p| match p.as_constant() {
         Some(c) => c.is_negative(),
         None => false,
@@ -202,7 +290,7 @@ pub fn implies_false(premises: &[Poly], opts: &EntailmentOptions) -> bool {
         return true;
     }
     let product_list = products(premises, opts);
-    combination_witness(&product_list, &Poly::constant_i64(-1), opts).is_some()
+    combination_witness(&product_list, &Poly::constant_i64(-1), opts, lp_cache).is_some()
 }
 
 /// A memo table for the entailment oracle, reusable across many queries on
@@ -216,13 +304,21 @@ pub fn implies_false(premises: &[Poly], opts: &EntailmentOptions) -> bool {
 /// through the cache returns *bitwise-identical* answers to the uncached
 /// oracle.
 ///
+/// Premises are passed as `Arc<[Poly]>` slices: callers (the Houdini loop)
+/// build one shared premise vector per transition and query many conclusion
+/// atoms against it, so a cache insertion stores a reference-counted pointer
+/// instead of cloning the whole premise vector per entry.
+///
 /// The cache also keeps hit/lookup counters so callers (the session-centric
-/// prover API) can report cache effectiveness.
+/// prover API) can report cache effectiveness. Misses compute through a
+/// caller-supplied [`BasisCache`] so the underlying LPs warm-start across
+/// the query stream.
 #[derive(Debug, Clone, Default)]
 pub struct EntailmentCache {
     /// Buckets keyed by the hash of the *borrowed* query, so that cache hits
     /// — the common case on a warm configuration sweep — never clone the
-    /// premises or conclusion; owned keys are built on insertion only.
+    /// premises or conclusion; owned keys are built on insertion only (and
+    /// even then the premises are an `Arc` bump, not a deep clone).
     map: std::collections::HashMap<u64, Vec<(EntailmentKey, bool)>>,
     /// Number of queries answered from the memo table.
     pub hits: u64,
@@ -234,7 +330,7 @@ pub struct EntailmentCache {
 /// [`implies_false`] query), and the options.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct EntailmentKey {
-    premises: Vec<Poly>,
+    premises: Arc<[Poly]>,
     conclusion: Option<Poly>,
     opts: EntailmentOptions,
 }
@@ -242,11 +338,13 @@ struct EntailmentKey {
 impl EntailmentKey {
     fn matches(
         &self,
-        premises: &[Poly],
+        premises: &Arc<[Poly]>,
         conclusion: Option<&Poly>,
         opts: &EntailmentOptions,
     ) -> bool {
-        self.premises == premises && self.conclusion.as_ref() == conclusion && self.opts == *opts
+        (Arc::ptr_eq(&self.premises, premises) || self.premises == *premises)
+            && self.conclusion.as_ref() == conclusion
+            && self.opts == *opts
     }
 }
 
@@ -270,7 +368,7 @@ impl EntailmentCache {
 
     fn lookup_or(
         &mut self,
-        premises: &[Poly],
+        premises: &Arc<[Poly]>,
         conclusion: Option<&Poly>,
         opts: &EntailmentOptions,
         compute: impl FnOnce() -> bool,
@@ -286,7 +384,7 @@ impl EntailmentCache {
         let answer = compute();
         bucket.push((
             EntailmentKey {
-                premises: premises.to_vec(),
+                premises: Arc::clone(premises),
                 conclusion: conclusion.cloned(),
                 opts: opts.clone(),
             },
@@ -295,19 +393,28 @@ impl EntailmentCache {
         answer
     }
 
-    /// Memoized [`entails`].
+    /// Memoized [`entails`]; misses discharge their LPs through `lp` so the
+    /// underlying multiplier problems warm-start across the query stream.
     pub fn entails(
         &mut self,
-        premises: &[Poly],
+        premises: &Arc<[Poly]>,
         conclusion: &Poly,
         opts: &EntailmentOptions,
+        lp: &mut BasisCache,
     ) -> bool {
-        self.lookup_or(premises, Some(conclusion), opts, || entails(premises, conclusion, opts))
+        self.lookup_or(premises, Some(conclusion), opts, || {
+            entails_with_witness_impl(premises, conclusion, opts, Some(lp)).is_some()
+        })
     }
 
-    /// Memoized [`implies_false`].
-    pub fn implies_false(&mut self, premises: &[Poly], opts: &EntailmentOptions) -> bool {
-        self.lookup_or(premises, None, opts, || implies_false(premises, opts))
+    /// Memoized [`implies_false`]; misses discharge their LPs through `lp`.
+    pub fn implies_false(
+        &mut self,
+        premises: &Arc<[Poly]>,
+        opts: &EntailmentOptions,
+        lp: &mut BasisCache,
+    ) -> bool {
+        self.lookup_or(premises, None, opts, || implies_false_impl(premises, opts, Some(lp)))
     }
 
     /// Number of memoized entries.
@@ -436,37 +543,44 @@ mod tests {
     fn entailment_cache_matches_uncached_oracle_and_counts_hits() {
         let opts = EntailmentOptions::linear();
         let mut cache = EntailmentCache::new();
-        let queries: Vec<(Vec<Poly>, Poly)> = vec![
-            (vec![&x() - &c(3)], &x() - &c(1)),
-            (vec![&x() - &c(1)], &x() - &c(3)),
-            (vec![x(), y()], &x() + &y()),
+        let mut lp = BasisCache::new();
+        let queries: Vec<(Arc<[Poly]>, Poly)> = vec![
+            (vec![&x() - &c(3)].into(), &x() - &c(1)),
+            (vec![&x() - &c(1)].into(), &x() - &c(3)),
+            (vec![x(), y()].into(), &x() + &y()),
         ];
         for (premises, conclusion) in &queries {
             let fresh = entails(premises, conclusion, &opts);
-            assert_eq!(cache.entails(premises, conclusion, &opts), fresh);
+            assert_eq!(cache.entails(premises, conclusion, &opts, &mut lp), fresh);
             // Second query is a hit and must agree.
             let hits_before = cache.hits;
-            assert_eq!(cache.entails(premises, conclusion, &opts), fresh);
+            assert_eq!(cache.entails(premises, conclusion, &opts, &mut lp), fresh);
             assert_eq!(cache.hits, hits_before + 1);
         }
         // implies_false queries are keyed separately from entails queries.
-        let contradiction = vec![&x() - &c(3), -x()];
-        assert!(cache.implies_false(&contradiction, &opts));
-        assert!(cache.implies_false(&contradiction, &opts));
+        let contradiction: Arc<[Poly]> = vec![&x() - &c(3), -x()].into();
+        assert!(cache.implies_false(&contradiction, &opts, &mut lp));
+        assert!(cache.implies_false(&contradiction, &opts, &mut lp));
         assert!(!cache.is_empty());
         assert_eq!(cache.len(), 4);
         assert!(cache.lookups > cache.hits);
+        // The LP layer saw only the misses, and counted them.
+        assert_eq!(cache.lookups - cache.hits, cache.len() as u64);
+        assert!(lp.stats.solves > 0);
     }
 
     #[test]
-    fn prop_sparse_and_dense_farkas_certificates_agree() {
-        // The dense-LP knob must not change a single verdict or witness:
+    fn prop_engine_choice_does_not_change_farkas_certificates() {
+        // The engine knob must not change a single verdict or witness:
         // random feasible/infeasible entailment chains produce bitwise-equal
-        // Farkas certificates through both simplex engines.
+        // Farkas certificates through all three simplex engines.
         use crate::SplitMix64;
-        let sparse_opts = EntailmentOptions::linear();
-        let mut dense_opts = EntailmentOptions::linear();
-        dense_opts.use_dense_lp = true;
+        let revised_opts = EntailmentOptions::linear();
+        assert_eq!(revised_opts.lp_engine, LpEngine::Revised);
+        let sparse_opts =
+            EntailmentOptions { lp_engine: LpEngine::SparseTableau, ..EntailmentOptions::linear() };
+        let dense_opts =
+            EntailmentOptions { lp_engine: LpEngine::Dense, ..EntailmentOptions::linear() };
         let mut rng = SplitMix64::new(0x0FA1_2CA5);
         let (mut entailed, mut refuted) = (0, 0);
         for round in 0..40 {
@@ -485,9 +599,11 @@ mod tests {
             let slack = if round % 2 == 0 { rat(1) } else { rat(-1) };
             let bound = &total - &slack;
             let conclusion = &Poly::var(Var(n as u32)) - &Poly::var(Var(0)) - Poly::constant(bound);
+            let via_revised = entails_with_witness(&premises, &conclusion, &revised_opts);
             let via_sparse = entails_with_witness(&premises, &conclusion, &sparse_opts);
             let via_dense = entails_with_witness(&premises, &conclusion, &dense_opts);
-            assert_eq!(via_sparse, via_dense, "engines diverged on round {round}");
+            assert_eq!(via_sparse, via_dense, "tableau engines diverged on round {round}");
+            assert_eq!(via_revised, via_dense, "revised engine diverged on round {round}");
             match via_sparse {
                 Some(_) => entailed += 1,
                 None => refuted += 1,
@@ -495,6 +611,38 @@ mod tests {
         }
         assert_eq!(entailed, 20);
         assert_eq!(refuted, 20);
+    }
+
+    #[test]
+    fn prop_warm_started_streams_match_the_cold_oracle() {
+        // A Houdini-shaped stream: one premise set, many conclusion atoms —
+        // every query after the first warm-starts from the stored basis.
+        // Verdicts must match the cold (cache-free) oracle on every atom.
+        use crate::SplitMix64;
+        let opts = EntailmentOptions::linear();
+        let mut rng = SplitMix64::new(0x57A6_57A6);
+        let mut lp = BasisCache::new();
+        for _ in 0..12 {
+            let n = 2 + rng.next_below(3) as usize;
+            let mut premises: Vec<Poly> = Vec::new();
+            for i in 0..n {
+                // x_i >= b_i with random bounds.
+                let b = rng.next_in_range(-3, 3);
+                premises.push(&Poly::var(Var(i as u32)) - &Poly::constant_i64(b));
+            }
+            let premises: Arc<[Poly]> = premises.into();
+            let mut cache = EntailmentCache::new();
+            for atom in 0..6u32 {
+                let i = rng.next_below(n as u64) as u32;
+                let b = rng.next_in_range(-4, 4);
+                let conclusion = &Poly::var(Var(i)) - &Poly::constant_i64(b);
+                let warm = cache.entails(&premises, &conclusion, &opts, &mut lp);
+                let cold = entails(&premises, &conclusion, &opts);
+                assert_eq!(warm, cold, "atom {atom} diverged");
+            }
+        }
+        assert!(lp.stats.warm_hits > 0, "the stream produced no LP warm starts");
+        assert_eq!(lp.stats.warm_lookups, lp.stats.solves);
     }
 
     #[test]

@@ -19,14 +19,29 @@
 //! premise products or the conclusion, stating that the monomial's
 //! coefficients match on both sides. A given monomial occurs in only a
 //! handful of products, so each row has 3–6 nonzeros regardless of how many
-//! hundreds of multiplier columns the product budget generates. The simplex
-//! tableau therefore stores rows as [`SparseRow`]s — sorted, zero-free
+//! hundreds of multiplier columns the product budget generates. All LP data
+//! therefore stays sparse — [`SparseRow`]s are sorted, zero-free
 //! `(column, coefficient)` lists with packed machine-word [`revterm_num::Rat`]
-//! coefficients — and pivots by merging sparse rows; the dense reference
-//! engine ([`LpProblem::solve_dense`]) is kept for differential testing and
-//! produces bitwise-identical results. The [`lp`] module docs describe the
-//! lowering to standard form; the [`entail`] module docs describe the
-//! positive-combination encoding.
+//! coefficients.
+//!
+//! Three simplex engines share this representation and produce
+//! **bitwise-identical** results on cold solves (they make the same
+//! Bland's-rule choices and exact arithmetic makes every comparison
+//! representation-independent):
+//!
+//! * [`LpProblem::solve_revised`] — the default: a revised simplex that
+//!   keeps the basis inverse as an eta-file (product-form) factorization
+//!   and supports **warm starts** from a [`BasisCache`], which is what lets
+//!   a Houdini entailment stream skip phase 1 on structurally repeated LPs;
+//! * [`LpProblem::solve`] — the sparse tableau, kept as a differential
+//!   oracle;
+//! * [`LpProblem::solve_dense`] — the dense reference tableau, the second
+//!   differential oracle.
+//!
+//! The [`lp`] module docs describe the lowering to standard form, the eta
+//! file and the warm-start contract; the [`entail`] module docs describe the
+//! positive-combination encoding and the structural keying that drives the
+//! basis cache.
 //!
 //! Both oracles are *sound*: a positive answer comes with an explicit
 //! certificate (a feasible point, a multiplier vector), and every
@@ -56,7 +71,7 @@ pub mod lp;
 mod rng;
 
 pub use entail::{
-    entails, entails_with_witness, implies_false, EntailmentCache, EntailmentOptions,
+    entails, entails_with_witness, implies_false, EntailmentCache, EntailmentOptions, LpEngine,
 };
-pub use lp::{LpProblem, LpResult, LpSolution, Rel, SparseRow, VarKind};
+pub use lp::{BasisCache, LpProblem, LpResult, LpSolution, LpStats, Rel, SparseRow, VarKind};
 pub use rng::SplitMix64;

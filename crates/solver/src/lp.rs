@@ -28,6 +28,46 @@
 //! representation-independent) and are differentially tested against each
 //! other on random systems.
 //!
+//! # Revised simplex: the eta-file basis factorization
+//!
+//! The default engine, [`LpProblem::solve_revised`], never updates a tableau
+//! at all. It keeps the inverse of the current basis `B` in **product form**:
+//! a list of *etas* — matrices that differ from the identity in one column —
+//! with `B⁻¹ = η_k ⋯ η_2 η_1`. A pivot appends one eta (built from the
+//! entering column's FTRAN image) instead of re-eliminating every row, and
+//! the two linear systems simplex needs per iteration are solved by sweeps
+//! over the eta file that walk stored nonzeros only:
+//!
+//! * **FTRAN** (`B d = a_q`): apply the etas in creation order; an eta whose
+//!   slot entry is zero in the running vector is skipped entirely.
+//! * **BTRAN** (`Bᵀ y = c_B`): apply the etas in reverse order; each
+//!   replaces one entry of the running vector by a dot product with its
+//!   stored column.
+//!
+//! A cold `solve_revised` run prices with the exact reduced costs
+//! `c_j − y·a_j`, which equal the tableau engines' maintained reduced-cost
+//! row entry for entry, so all three engines make the same Bland's-rule
+//! choices and produce **bitwise-identical** results — the three-way
+//! differential oracle enforced by the tests here and by the `num_profile`
+//! bench digests.
+//!
+//! # Warm starts
+//!
+//! The factorization is what makes warm starting cheap: given a previously
+//! optimal basis for a *structurally identical* LP (same columns, a few
+//! changed right-hand sides — exactly what a Houdini entailment stream
+//! produces), [`LpProblem::solve_revised_warm`] re-factorizes the stored
+//! basis into a fresh eta file, recomputes `x_B = B⁻¹b`, and — when that
+//! solution is feasible — skips phase 1 outright, so pure feasibility
+//! problems finish without a single pivot. A singular or infeasible warm
+//! basis falls back to the cold Bland start, so warm starting can never
+//! change a verdict. Stored bases live in a [`BasisCache`] keyed by the
+//! caller (the entailment oracle hashes the product list and monomial rows);
+//! only artificial-free bases are stored, so a key collision is at worst a
+//! wasted re-factorization, never an unsound resurrection of an artificial
+//! column. [`LpStats`] counts solves, pivots, re-factorizations and
+//! warm-start hits for the prover's statistics.
+//!
 //! ```
 //! use revterm_num::rat;
 //! use revterm_poly::{LinExpr, Var};
@@ -355,6 +395,16 @@ impl ColumnMap {
     }
 }
 
+/// The standard-form lowering shared by the sparse engines: `rows · x = rhs`
+/// with `rhs ≥ 0` over the decision columns (structural columns followed by
+/// slack/surplus columns), *without* the artificial identity block — each
+/// engine appends its own representation of it.
+struct StandardForm {
+    rows: Vec<SparseRow>,
+    rhs: Vec<Rat>,
+    total_decision_cols: usize,
+}
+
 impl LpProblem {
     /// Creates an empty problem.
     pub fn new() -> LpProblem {
@@ -420,16 +470,9 @@ impl LpProblem {
         Some(cost)
     }
 
-    /// Solves the problem with the sparse simplex engine.
-    ///
-    /// The tableau rows are [`SparseRow`]s built directly from the
-    /// constraints' [`LinExpr::nonzeros`] views — the dense coefficient
-    /// matrix is never materialised. Produces results bitwise-identical to
-    /// [`LpProblem::solve_dense`].
-    pub fn solve(&self) -> LpResult {
-        let map = self.column_map();
+    /// Lowers the constraints to standard form (see [`StandardForm`]).
+    fn standard_form(&self, map: &ColumnMap) -> StandardForm {
         let m = self.constraints.len();
-
         // Build sparse rows a·x = b with slack/surplus columns appended.
         // Structural columns come in variable order and slack/artificial
         // columns are appended with strictly larger indices, so every push
@@ -468,6 +511,19 @@ impl LpProblem {
                 rows[i].negate();
             }
         }
+        StandardForm { rows, rhs, total_decision_cols }
+    }
+
+    /// Solves the problem with the sparse tableau simplex engine.
+    ///
+    /// The tableau rows are [`SparseRow`]s built directly from the
+    /// constraints' [`LinExpr::nonzeros`] views — the dense coefficient
+    /// matrix is never materialised. Produces results bitwise-identical to
+    /// [`LpProblem::solve_dense`] and [`LpProblem::solve_revised`].
+    pub fn solve(&self) -> LpResult {
+        let map = self.column_map();
+        let StandardForm { mut rows, mut rhs, total_decision_cols } = self.standard_form(&map);
+        let m = rows.len();
         // Append artificial columns (one per row) to get an initial basis.
         for (i, row) in rows.iter_mut().enumerate() {
             row.push((total_decision_cols + i) as u32, Rat::one());
@@ -639,6 +695,493 @@ impl LpProblem {
             col_values[b] = rhs[i].clone();
         }
         LpResult::Optimal(map.reconstruct(&col_values, objective_value))
+    }
+
+    /// Solves the problem with the revised simplex engine (cold start).
+    ///
+    /// Same two-phase Bland's-rule algorithm as [`LpProblem::solve`], but the
+    /// basis inverse is kept as an eta-file factorization (see the module
+    /// docs): each pivot appends one eta instead of re-eliminating the
+    /// tableau, and pricing/ratio vectors come from BTRAN/FTRAN sweeps over
+    /// the etas. Cold runs make exactly the pivot choices of the tableau
+    /// engines, so results are bitwise-identical to [`LpProblem::solve`] and
+    /// [`LpProblem::solve_dense`].
+    pub fn solve_revised(&self) -> LpResult {
+        let mut scratch = BasisCache::new();
+        self.solve_revised_core(None, &mut scratch)
+    }
+
+    /// Solves with the revised engine, warm-starting from (and afterwards
+    /// updating) the basis stored under `key` in `cache`.
+    ///
+    /// On a hit the stored basis is re-factorized against this problem's
+    /// columns; if the factorization is non-singular and the implied basic
+    /// solution is feasible, phase 1 is skipped entirely — pure feasibility
+    /// problems then finish without a single pivot. A missing, singular or
+    /// infeasible warm basis falls back to the cold Bland start, so the
+    /// feasibility verdict (and any optimal objective value) is always the
+    /// one a cold solve would produce. A warm-started solve may however land
+    /// on a *different* optimal vertex than a cold one; callers that need
+    /// bitwise-stable solutions should use [`LpProblem::solve_revised`].
+    pub fn solve_revised_warm(&self, key: u64, cache: &mut BasisCache) -> LpResult {
+        self.solve_revised_core(Some(key), cache)
+    }
+
+    fn solve_revised_core(&self, warm_key: Option<u64>, cache: &mut BasisCache) -> LpResult {
+        let map = self.column_map();
+        let StandardForm { rows, rhs, total_decision_cols } = self.standard_form(&map);
+        let m = rows.len();
+        let total_cols = total_decision_cols + m;
+        // Column-major copy of the constraint matrix: the revised engine
+        // works against original columns, never updated rows. Rows iterate
+        // their nonzeros in column order and the outer loop runs in row
+        // order, so each column receives its entries sorted by row. The
+        // artificial block is the identity.
+        let mut cols: Vec<SparseRow> = vec![SparseRow::new(); total_cols];
+        for (i, row) in rows.iter().enumerate() {
+            for (j, a) in row.iter() {
+                cols[j as usize].push(i as u32, a.clone());
+            }
+        }
+        for i in 0..m {
+            cols[total_decision_cols + i].push(i as u32, Rat::one());
+        }
+
+        cache.stats.solves += 1;
+        let mut engine = RevisedSimplex::new(&cols, &rhs, total_decision_cols);
+
+        let mut warmed = false;
+        if let Some(key) = warm_key {
+            cache.stats.warm_lookups += 1;
+            if let Some(stored) = cache.map.get(&key) {
+                if engine.warm_start(stored) {
+                    cache.stats.warm_hits += 1;
+                    cache.stats.refactorizations += 1;
+                    warmed = true;
+                }
+            }
+        }
+        if !warmed {
+            engine.cold_start();
+            // Phase 1: minimise the sum of artificial variables.
+            let phase1_cost: Vec<Rat> = (0..total_cols)
+                .map(|j| if j >= total_decision_cols { Rat::one() } else { Rat::zero() })
+                .collect();
+            let banned = vec![false; total_cols];
+            if !engine.simplex(&phase1_cost, &banned, &mut cache.stats) {
+                // Phase 1 objective is bounded below by 0, so this cannot happen.
+                return LpResult::Infeasible;
+            }
+            let phase1_value: Rat = engine
+                .basis
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| &phase1_cost[b] * &engine.x_b[i])
+                .sum();
+            if phase1_value.is_positive() {
+                return LpResult::Infeasible;
+            }
+            engine.drive_out_artificials(&mut cache.stats);
+        }
+        // Ban artificial columns from (re-)entering.
+        let mut banned = vec![false; total_cols];
+        banned[total_decision_cols..].fill(true);
+
+        // Phase 2 (only if an objective is present).
+        let objective_value;
+        if let Some(cost) = self.cost_vector(&map, total_cols) {
+            if !engine.simplex(&cost, &banned, &mut cache.stats) {
+                return LpResult::Unbounded;
+            }
+            let basis_value: Rat =
+                engine.basis.iter().enumerate().map(|(i, &b)| &cost[b] * &engine.x_b[i]).sum();
+            objective_value = &basis_value
+                + self.objective.as_ref().expect("cost implies objective").constant_part();
+        } else {
+            objective_value = Rat::zero();
+        }
+
+        // Remember the final basis for the next structurally identical
+        // problem. Only artificial-free bases are stored: re-factorizing a
+        // basis that contains an artificial column against a different
+        // right-hand side could assign that artificial a positive value,
+        // silently relaxing its constraint — rather than guard against that
+        // in the warm path, such (rare, degenerate) bases are not cached.
+        if let Some(key) = warm_key {
+            if engine.basis.iter().all(|&b| b < total_decision_cols) {
+                cache.map.insert(key, engine.basis.iter().map(|&b| b as u32).collect());
+            }
+        }
+
+        // Extract the solution.
+        let mut col_values = vec![Rat::zero(); total_cols];
+        for (i, &b) in engine.basis.iter().enumerate() {
+            col_values[b] = engine.x_b[i].clone();
+        }
+        LpResult::Optimal(map.reconstruct(&col_values, objective_value))
+    }
+}
+
+/// Counters kept by the revised simplex engine, surfaced through the
+/// prover's per-run statistics.
+///
+/// All counters are monotone; callers snapshot and subtract
+/// ([`LpStats::delta_since`]) to attribute work to one prove call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Solves performed by the revised engine.
+    pub solves: u64,
+    /// Simplex pivots performed (phase 1, artificial drive-out and phase 2).
+    pub pivots: u64,
+    /// Basis re-factorizations (one per accepted warm start).
+    pub refactorizations: u64,
+    /// Warm-start lookups ([`LpProblem::solve_revised_warm`] calls).
+    pub warm_lookups: u64,
+    /// Warm-start hits: a stored basis re-factorized successfully and its
+    /// basic solution was feasible, so phase 1 was skipped.
+    pub warm_hits: u64,
+}
+
+impl LpStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn accumulate(&mut self, other: &LpStats) {
+        self.solves += other.solves;
+        self.pivots += other.pivots;
+        self.refactorizations += other.refactorizations;
+        self.warm_lookups += other.warm_lookups;
+        self.warm_hits += other.warm_hits;
+    }
+
+    /// The counter increments since an `earlier` snapshot of the same
+    /// (monotone) counters.
+    pub fn delta_since(&self, earlier: &LpStats) -> LpStats {
+        LpStats {
+            solves: self.solves - earlier.solves,
+            pivots: self.pivots - earlier.pivots,
+            refactorizations: self.refactorizations - earlier.refactorizations,
+            warm_lookups: self.warm_lookups - earlier.warm_lookups,
+            warm_hits: self.warm_hits - earlier.warm_hits,
+        }
+    }
+}
+
+/// A cache of optimal simplex bases keyed by LP *structure*, plus the
+/// [`LpStats`] counters of every solve routed through it.
+///
+/// The key is chosen by the caller as a hash of whatever determines the
+/// constraint matrix — the entailment oracle hashes its premise-product list
+/// and monomial row set, under which consecutive Houdini-stream LPs share
+/// columns and differ only in right-hand sides. Keys may collide across
+/// genuinely different problems: [`LpProblem::solve_revised_warm`] validates
+/// the stored basis (dimensions, non-singularity, feasibility) before using
+/// it, so a collision costs at most a wasted re-factorization.
+#[derive(Debug, Clone, Default)]
+pub struct BasisCache {
+    /// Stored optimal bases (decision-column indices, one per row).
+    map: std::collections::HashMap<u64, Vec<u32>>,
+    /// Counters across every solve routed through this cache.
+    pub stats: LpStats,
+}
+
+impl BasisCache {
+    /// Creates an empty cache.
+    pub fn new() -> BasisCache {
+        BasisCache::default()
+    }
+
+    /// Number of stored bases.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` iff no basis has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One factor of the product-form basis inverse: a matrix equal to the
+/// identity except in column `slot`, which holds the stored nonzeros.
+/// Appending the eta built from `w = B⁻¹·a_q` (pivoting at `slot`) updates
+/// `B⁻¹` for the basis change `basis[slot] ← q`.
+#[derive(Debug, Clone)]
+struct Eta {
+    slot: u32,
+    /// Sorted `(row, value)` nonzeros of the replaced column, including the
+    /// diagonal entry `(slot, 1 / w[slot])`.
+    entries: Vec<(u32, Rat)>,
+}
+
+/// Working state of the revised simplex: the original columns, the current
+/// basis, the eta-file factorization of its inverse, and the basic solution.
+struct RevisedSimplex<'a> {
+    cols: &'a [SparseRow],
+    rhs: &'a [Rat],
+    total_decision_cols: usize,
+    m: usize,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    etas: Vec<Eta>,
+    x_b: Vec<Rat>,
+}
+
+/// Dot product of a dense vector with a sparse column, skipping zero
+/// entries on both sides.
+fn sparse_dot(dense: &[Rat], col: &SparseRow) -> Rat {
+    let mut acc = Rat::zero();
+    for (i, a) in col.iter() {
+        let d = &dense[i as usize];
+        if !d.is_zero() {
+            acc += &(d * a);
+        }
+    }
+    acc
+}
+
+impl<'a> RevisedSimplex<'a> {
+    fn new(
+        cols: &'a [SparseRow],
+        rhs: &'a [Rat],
+        total_decision_cols: usize,
+    ) -> RevisedSimplex<'a> {
+        RevisedSimplex {
+            cols,
+            rhs,
+            total_decision_cols,
+            m: rhs.len(),
+            basis: Vec::new(),
+            in_basis: vec![false; cols.len()],
+            etas: Vec::new(),
+            x_b: Vec::new(),
+        }
+    }
+
+    /// Installs the all-artificial starting basis (`B = I`, `x_B = b`).
+    fn cold_start(&mut self) {
+        self.etas.clear();
+        self.basis = (0..self.m).map(|i| self.total_decision_cols + i).collect();
+        self.in_basis = vec![false; self.cols.len()];
+        for &b in &self.basis {
+            self.in_basis[b] = true;
+        }
+        self.x_b = self.rhs.to_vec();
+    }
+
+    /// FTRAN: applies `B⁻¹` to a dense vector in place. Etas apply in
+    /// creation order; an eta whose slot entry is currently zero is skipped.
+    fn ftran(&self, v: &mut [Rat]) {
+        for eta in &self.etas {
+            let slot = eta.slot as usize;
+            let vs = std::mem::take(&mut v[slot]);
+            if vs.is_zero() {
+                continue;
+            }
+            for (i, e) in &eta.entries {
+                let i = *i as usize;
+                if i == slot {
+                    v[i] = e * &vs;
+                } else {
+                    v[i] += &(e * &vs);
+                }
+            }
+        }
+    }
+
+    /// BTRAN: applies `B⁻ᵀ` to a dense vector in place. Etas apply in
+    /// reverse order; each replaces its slot entry by a dot product with its
+    /// stored column.
+    fn btran(&self, y: &mut [Rat]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = Rat::zero();
+            for (i, e) in &eta.entries {
+                let yi = &y[*i as usize];
+                if !yi.is_zero() {
+                    acc += &(e * yi);
+                }
+            }
+            y[eta.slot as usize] = acc;
+        }
+    }
+
+    /// `B⁻¹ · column j` as a dense vector.
+    fn ftran_col(&self, j: usize) -> Vec<Rat> {
+        let mut v = vec![Rat::zero(); self.m];
+        for (i, a) in self.cols[j].iter() {
+            v[i as usize] = a.clone();
+        }
+        self.ftran(&mut v);
+        v
+    }
+
+    /// Appends the inverse eta that pivots `w = B⁻¹·a_entering` at `slot`
+    /// (requires `w[slot] != 0`).
+    fn push_eta(&mut self, slot: usize, w: &[Rat]) {
+        let inv = w[slot].recip();
+        let mut entries = Vec::with_capacity(w.iter().filter(|v| !v.is_zero()).count());
+        for (i, wi) in w.iter().enumerate() {
+            if i == slot {
+                entries.push((i as u32, inv.clone()));
+            } else if !wi.is_zero() {
+                entries.push((i as u32, -(wi * &inv)));
+            }
+        }
+        self.etas.push(Eta { slot: slot as u32, entries });
+    }
+
+    /// Bland pricing: the lowest-index improving non-basic column, priced
+    /// with exact reduced costs `c_j − y·a_j` where `y = B⁻ᵀ c_B` comes from
+    /// one BTRAN sweep. These equal the tableau engines' maintained
+    /// reduced-cost row, so every engine picks the same entering column.
+    fn price(&self, cost: &[Rat], banned: &[bool]) -> Option<usize> {
+        let mut y: Vec<Rat> = self.basis.iter().map(|&b| cost[b].clone()).collect();
+        self.btran(&mut y);
+        for j in 0..cost.len() {
+            if banned[j] || self.in_basis[j] {
+                continue;
+            }
+            let reduced = &cost[j] - &sparse_dot(&y, &self.cols[j]);
+            if reduced.is_negative() {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// The tableau engines' ratio test on `w = B⁻¹·a_entering`: lowest ratio
+    /// `x_B[i] / w[i]` over `w[i] > 0`, ties broken towards the lowest basic
+    /// variable index.
+    fn ratio_test(&self, w: &[Rat]) -> Option<usize> {
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio: Option<Rat> = None;
+        for (i, wi) in w.iter().enumerate() {
+            if !wi.is_positive() {
+                continue;
+            }
+            let ratio = &self.x_b[i] / wi;
+            let better = match &best_ratio {
+                None => true,
+                Some(b) => {
+                    ratio < *b
+                        || (ratio == *b
+                            && self.basis[i]
+                                < self.basis[leaving.expect("leaving set with best_ratio")])
+                }
+            };
+            if better {
+                best_ratio = Some(ratio);
+                leaving = Some(i);
+            }
+        }
+        leaving
+    }
+
+    /// Replaces the basic variable at `slot` by `entering`: updates the
+    /// basic solution, appends the pivot's eta, and fixes the bookkeeping.
+    fn pivot(&mut self, slot: usize, entering: usize, w: &[Rat], stats: &mut LpStats) {
+        let theta = &self.x_b[slot] / &w[slot];
+        for (i, wi) in w.iter().enumerate() {
+            if i != slot && !wi.is_zero() {
+                self.x_b[i] -= &(&theta * wi);
+            }
+        }
+        self.x_b[slot] = theta;
+        self.push_eta(slot, w);
+        self.in_basis[self.basis[slot]] = false;
+        self.in_basis[entering] = true;
+        self.basis[slot] = entering;
+        stats.pivots += 1;
+    }
+
+    /// Runs Bland's-rule simplex to optimality from the current (feasible)
+    /// basis. Returns `false` iff the objective is unbounded below.
+    fn simplex(&mut self, cost: &[Rat], banned: &[bool], stats: &mut LpStats) -> bool {
+        loop {
+            let Some(entering) = self.price(cost, banned) else { return true };
+            let w = self.ftran_col(entering);
+            let Some(slot) = self.ratio_test(&w) else { return false };
+            self.pivot(slot, entering, &w, stats);
+        }
+    }
+
+    /// Pivots remaining artificial basic variables out wherever some
+    /// decision column has a nonzero in their tableau row — the same
+    /// lowest-column choice as the tableau engines' drive-out (basic
+    /// decision columns are unit vectors there, with a zero in every other
+    /// row, so skipping them here changes nothing).
+    fn drive_out_artificials(&mut self, stats: &mut LpStats) {
+        for slot in 0..self.m {
+            if self.basis[slot] < self.total_decision_cols {
+                continue;
+            }
+            // Row `slot` of the current tableau is `ρ·A` with `ρ` the
+            // corresponding row of `B⁻¹`, i.e. BTRAN of a unit vector.
+            let mut rho = vec![Rat::zero(); self.m];
+            rho[slot] = Rat::one();
+            self.btran(&mut rho);
+            let entering = (0..self.total_decision_cols)
+                .find(|&j| !self.in_basis[j] && !sparse_dot(&rho, &self.cols[j]).is_zero());
+            if let Some(j) = entering {
+                let w = self.ftran_col(j);
+                debug_assert!(!w[slot].is_zero(), "drive-out pivot on zero element");
+                self.pivot(slot, j, &w, stats);
+            }
+        }
+    }
+
+    /// Attempts to install `stored` (decision-column indices of a previously
+    /// optimal basis) by re-factorizing it against this problem's columns.
+    /// Returns `false` — leaving the engine ready for a cold start — when
+    /// the stored basis does not fit this problem, is singular, or its basic
+    /// solution is infeasible for this right-hand side.
+    fn warm_start(&mut self, stored: &[u32]) -> bool {
+        if stored.len() != self.m {
+            return false;
+        }
+        // Validate shape first: decision columns only, no duplicates. Keys
+        // can collide across different problems, so a stored basis is
+        // checked, never trusted.
+        let mut seen = vec![false; self.total_decision_cols];
+        for &c in stored {
+            let c = c as usize;
+            if c >= self.total_decision_cols || seen[c] {
+                return false;
+            }
+            seen[c] = true;
+        }
+        // Product-form Gaussian elimination: FTRAN each stored column
+        // through the partial eta file and pivot it at the lowest
+        // still-unpivoted slot with a nonzero entry.
+        self.etas.clear();
+        let mut pivoted = vec![false; self.m];
+        let mut slot_of = vec![0usize; self.m];
+        for (k, &c) in stored.iter().enumerate() {
+            let w = self.ftran_col(c as usize);
+            let Some(slot) = (0..self.m).find(|&i| !pivoted[i] && !w[i].is_zero()) else {
+                self.etas.clear();
+                return false; // singular basis
+            };
+            self.push_eta(slot, &w);
+            pivoted[slot] = true;
+            slot_of[k] = slot;
+        }
+        // The factorization assigned each stored column a slot; install the
+        // basis accordingly and recompute the basic solution.
+        self.basis = vec![0; self.m];
+        for (k, &c) in stored.iter().enumerate() {
+            self.basis[slot_of[k]] = c as usize;
+        }
+        self.in_basis = vec![false; self.cols.len()];
+        for &b in &self.basis {
+            self.in_basis[b] = true;
+        }
+        let mut x_b = self.rhs.to_vec();
+        self.ftran(&mut x_b);
+        if x_b.iter().any(|v| v.is_negative()) {
+            self.etas.clear();
+            return false; // warm basis infeasible for this right-hand side
+        }
+        self.x_b = x_b;
+        true
     }
 }
 
@@ -1177,17 +1720,20 @@ mod tests {
     }
 
     #[test]
-    fn prop_sparse_and_dense_agree_on_random_systems() {
-        // The sparse engine must be indistinguishable from the dense
-        // reference on feasible, infeasible and unbounded instances — not
-        // just the verdict but the exact solution values.
+    fn prop_all_three_engines_agree_on_random_systems() {
+        // The sparse tableau and the cold revised engine must be
+        // indistinguishable from the dense reference on feasible, infeasible
+        // and unbounded instances — not just the verdict but the exact
+        // solution values (all engines make the same Bland's-rule choices).
         let mut rng = SplitMix64::new(0xD1FF_5EED);
         let (mut feasible, mut infeasible) = (0, 0);
         for round in 0..120 {
             let lp = random_lp(&mut rng, round % 2 == 0);
             let sparse = lp.solve();
             let dense = lp.solve_dense();
+            let revised = lp.solve_revised();
             assert_eq!(sparse, dense, "sparse vs dense diverged on:\n{lp}");
+            assert_eq!(revised, dense, "revised vs dense diverged on:\n{lp}");
             match sparse {
                 LpResult::Optimal(_) => feasible += 1,
                 LpResult::Infeasible => infeasible += 1,
@@ -1197,5 +1743,241 @@ mod tests {
         // The generator must actually exercise both exits.
         assert!(feasible > 10, "generator produced too few feasible systems");
         assert!(infeasible > 10, "generator produced too few infeasible systems");
+    }
+
+    // -----------------------------------------------------------------------
+    // Revised engine: warm starts and the basis cache.
+    // -----------------------------------------------------------------------
+
+    /// A Farkas-shaped feasibility problem: non-negative multipliers on
+    /// equality rows, no objective — the shape the warm-start path is built
+    /// for. `rhs` perturbs the right-hand sides without changing structure.
+    fn farkas_like_lp(rhs: [i64; 2]) -> LpProblem {
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(0) - v(1) - e(rhs[0]), Rel::Eq);
+        lp.add_constraint(v(0) + v(1) - e(rhs[1]), Rel::Eq);
+        lp
+    }
+
+    #[test]
+    fn warm_start_skips_phase_one_on_a_repeated_problem() {
+        let mut cache = BasisCache::new();
+        let lp = farkas_like_lp([0, 2]);
+        let cold = lp.solve_revised_warm(42, &mut cache);
+        assert!(cold.is_feasible());
+        assert_eq!(cache.stats.warm_lookups, 1);
+        assert_eq!(cache.stats.warm_hits, 0);
+        assert_eq!(cache.len(), 1);
+        let pivots_after_cold = cache.stats.pivots;
+        assert!(pivots_after_cold > 0, "cold solve must pivot");
+
+        // Same problem again: the stored basis re-factorizes, its solution
+        // is feasible, and not a single pivot is spent.
+        let warm = lp.solve_revised_warm(42, &mut cache);
+        assert_eq!(warm, cold);
+        assert_eq!(cache.stats.warm_hits, 1);
+        assert_eq!(cache.stats.refactorizations, 1);
+        assert_eq!(cache.stats.pivots, pivots_after_cold);
+        assert_eq!(cache.stats.solves, 2);
+    }
+
+    #[test]
+    fn warm_start_tracks_right_hand_side_changes() {
+        // Same structure, shifted right-hand sides — the Houdini-stream
+        // shape. Every warm answer must equal the cold oracle's verdict.
+        let mut cache = BasisCache::new();
+        for rhs in [[0i64, 2], [1, 3], [-1, 5], [2, 2], [3, 1]] {
+            let lp = farkas_like_lp(rhs);
+            let warm = lp.solve_revised_warm(7, &mut cache);
+            let oracle = lp.solve();
+            assert_eq!(warm.is_feasible(), oracle.is_feasible(), "rhs {rhs:?}");
+            // A feasible warm vertex still satisfies the constraints: both
+            // equality rows hold exactly.
+            if let Some(sol) = warm.solution() {
+                let (x, y) = (sol.value(Var(0)), sol.value(Var(1)));
+                assert_eq!(&x - &y, rat(rhs[0]), "rhs {rhs:?}");
+                assert_eq!(&x + &y, rat(rhs[1]), "rhs {rhs:?}");
+                assert!(!x.is_negative() && !y.is_negative(), "rhs {rhs:?}");
+            }
+        }
+        assert!(cache.stats.warm_hits >= 3, "expected mostly warm hits");
+    }
+
+    #[test]
+    fn infeasible_warm_basis_falls_back_to_cold() {
+        // x - y = 1 over non-negative x, y. The basis {y} factorizes fine
+        // but implies y = -1 < 0, so the warm start must be rejected and the
+        // cold path must still find the answer.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(0) - v(1) - e(1), Rel::Eq);
+        let mut cache = BasisCache::new();
+        cache.map.insert(9, vec![1]); // column of y
+        let result = lp.solve_revised_warm(9, &mut cache);
+        assert_eq!(result, lp.solve());
+        assert!(result.is_feasible());
+        assert_eq!(cache.stats.warm_lookups, 1);
+        assert_eq!(cache.stats.warm_hits, 0);
+        assert_eq!(cache.stats.refactorizations, 0);
+        // The cold solve stored its (artificial-free) final basis in place
+        // of the rejected one, so the next call warm-starts.
+        let again = lp.solve_revised_warm(9, &mut cache);
+        assert_eq!(again, result);
+        assert_eq!(cache.stats.warm_hits, 1);
+    }
+
+    #[test]
+    fn singular_warm_basis_falls_back_to_cold() {
+        // Columns 0 and 1 are linearly dependent (the second row is twice
+        // the first), so the stored basis {0, 1} cannot be factorized.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        lp.set_var_kind(Var(1), VarKind::NonNegative);
+        lp.add_constraint(v(0) + v(1) - e(2), Rel::Eq);
+        lp.add_constraint(v(0).scale(&rat(2)) + v(1).scale(&rat(2)) - e(4), Rel::Eq);
+        let mut cache = BasisCache::new();
+        cache.map.insert(3, vec![0, 1]);
+        let result = lp.solve_revised_warm(3, &mut cache);
+        assert_eq!(result, lp.solve());
+        assert!(result.is_feasible());
+        assert_eq!(cache.stats.warm_hits, 0);
+        assert_eq!(cache.stats.refactorizations, 0);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_from_a_key_collision_is_rejected() {
+        // A stored basis from a structurally different problem (wrong
+        // length, out-of-range columns, duplicates) must be rejected by
+        // validation, not trusted.
+        let lp = farkas_like_lp([0, 2]);
+        for bogus in [vec![], vec![0], vec![0, 57], vec![1, 1], vec![0, 1, 2]] {
+            let mut cache = BasisCache::new();
+            cache.map.insert(1, bogus.clone());
+            let result = lp.solve_revised_warm(1, &mut cache);
+            assert_eq!(result, lp.solve(), "stored basis {bogus:?}");
+            assert_eq!(cache.stats.warm_hits, 0, "stored basis {bogus:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_resumes_phase_two_after_an_objective_change() {
+        // minimise c·(x, y) subject to x + y = 10, x - y <= 2. The optimum
+        // moves between vertices as the cost flips, so a warm start from the
+        // previous optimal basis must re-run phase 2 (a genuine "resume"
+        // with a handful of pivots) and land on the cold optimum.
+        let build = |cost: (i64, i64)| {
+            let mut lp = LpProblem::new();
+            lp.set_var_kind(Var(0), VarKind::NonNegative);
+            lp.set_var_kind(Var(1), VarKind::NonNegative);
+            lp.add_constraint(v(0) + v(1) - e(10), Rel::Eq);
+            lp.add_constraint(v(0) - v(1) - e(2), Rel::Le);
+            lp.set_objective(v(0).scale(&rat(cost.0)) + v(1).scale(&rat(cost.1)));
+            lp
+        };
+        let mut cache = BasisCache::new();
+        for cost in [(2, 3), (3, 2), (2, 3), (5, 1)] {
+            let lp = build(cost);
+            let warm = lp.solve_revised_warm(11, &mut cache);
+            let oracle = lp.solve();
+            let (warm_sol, oracle_sol) =
+                (warm.solution().expect("feasible"), oracle.solution().expect("feasible"));
+            assert_eq!(warm_sol.objective(), oracle_sol.objective(), "cost {cost:?}");
+        }
+        assert!(cache.stats.warm_hits >= 2);
+        // Re-optimisation after a cost flip really pivots from the warm
+        // basis (the two optima are distinct vertices).
+        assert!(cache.stats.pivots > 0);
+    }
+
+    #[test]
+    fn degenerate_pivots_agree_across_engines_and_warm_starts() {
+        // Redundant constraints force degenerate (zero-ratio) pivots; the
+        // engines must still agree, and warm starting over the degenerate
+        // problem must keep the verdict.
+        let mut lp = LpProblem::new();
+        lp.set_var_kind(Var(0), VarKind::NonNegative);
+        for _ in 0..4 {
+            lp.add_constraint(v(0) - e(2), Rel::Ge);
+        }
+        lp.add_constraint(v(0) - e(2), Rel::Eq);
+        lp.set_objective(v(0));
+        let cold = lp.solve_revised();
+        assert_eq!(cold, lp.solve());
+        assert_eq!(cold, lp.solve_dense());
+        let mut cache = BasisCache::new();
+        let first = lp.solve_revised_warm(5, &mut cache);
+        assert_eq!(first, cold);
+        let second = lp.solve_revised_warm(5, &mut cache);
+        assert_eq!(second.solution().map(|s| s.objective().clone()), Some(rat(2)));
+        // Whether the degenerate optimum's basis was cacheable (artificial-
+        // free) or not, the second run must reproduce the cold answer: a
+        // warm hit resumes from the optimal basis and pivots zero times.
+        assert_eq!(second, cold);
+    }
+
+    #[test]
+    fn lp_stats_accumulate_and_delta() {
+        let mut a =
+            LpStats { solves: 3, pivots: 10, refactorizations: 1, warm_lookups: 2, warm_hits: 1 };
+        let before = a;
+        a.accumulate(&LpStats {
+            solves: 1,
+            pivots: 4,
+            refactorizations: 1,
+            warm_lookups: 1,
+            warm_hits: 1,
+        });
+        assert_eq!(
+            a.delta_since(&before),
+            LpStats { solves: 1, pivots: 4, refactorizations: 1, warm_lookups: 1, warm_hits: 1 }
+        );
+        assert_eq!(a.solves, 4);
+        assert_eq!(a.pivots, 14);
+        assert!(BasisCache::new().is_empty());
+    }
+
+    #[test]
+    fn prop_warm_started_verdicts_match_cold_on_random_streams() {
+        // Random feasibility systems grouped into structural families: all
+        // members of a family share a key, so later members warm-start from
+        // earlier optima. Verdicts must match the cold tableau oracle
+        // exactly, hits or fallbacks alike.
+        let mut rng = SplitMix64::new(0x000B_A515_CAFE);
+        let mut cache = BasisCache::new();
+        for family in 0..20u64 {
+            let n_vars = 2 + rng.next_below(3) as usize;
+            let n_rows = 2 + rng.next_below(3) as usize;
+            // One structure per family, several right-hand sides.
+            let coeffs: Vec<Vec<i64>> = (0..n_rows)
+                .map(|_| (0..n_vars).map(|_| rng.next_in_range(-3, 3)).collect())
+                .collect();
+            for _ in 0..4 {
+                let mut lp = LpProblem::new();
+                for v in 0..n_vars {
+                    lp.set_var_kind(Var(v as u32), VarKind::NonNegative);
+                }
+                for row in &coeffs {
+                    let mut expr = LinExpr::constant(rat(rng.next_in_range(-4, 4)));
+                    for (v, &c) in row.iter().enumerate() {
+                        if c != 0 {
+                            expr.add_coeff(Var(v as u32), rat(c));
+                        }
+                    }
+                    lp.add_constraint(expr, Rel::Eq);
+                }
+                let warm = lp.solve_revised_warm(family, &mut cache);
+                let oracle = lp.solve();
+                assert_eq!(
+                    warm.is_feasible(),
+                    oracle.is_feasible(),
+                    "family {family} diverged on:\n{lp}"
+                );
+            }
+        }
+        assert!(cache.stats.warm_lookups == 80);
+        assert!(cache.stats.warm_hits > 0, "streams produced no warm hits at all");
     }
 }

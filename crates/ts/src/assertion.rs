@@ -97,9 +97,10 @@ impl Assertion {
         self.atoms.iter().all(|p| !p.eval(assignment).is_negative())
     }
 
-    /// Evaluates the assertion under an integer assignment.
+    /// Evaluates the assertion under an integer assignment (through the fast
+    /// integer-point evaluation — see [`Poly::eval_at_int_point`]).
     pub fn holds_int(&self, assignment: &dyn Fn(Var) -> Int) -> bool {
-        self.holds(&|v| Rat::from(assignment(v)))
+        self.atoms.iter().all(|p| !p.eval_at_int_point(assignment).is_negative())
     }
 
     /// Applies a variable renaming to every atom.
@@ -245,9 +246,10 @@ impl PropPredicate {
         self.disjuncts.iter().any(|d| d.holds(assignment))
     }
 
-    /// Evaluates the predicate under an integer assignment.
+    /// Evaluates the predicate under an integer assignment (through the fast
+    /// integer-point evaluation — see [`Poly::eval_at_int_point`]).
     pub fn holds_int(&self, assignment: &dyn Fn(Var) -> Int) -> bool {
-        self.holds(&|v| Rat::from(assignment(v)))
+        self.disjuncts.iter().any(|d| d.holds_int(assignment))
     }
 
     /// Applies a variable renaming.

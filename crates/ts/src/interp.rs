@@ -11,7 +11,7 @@
 
 use crate::assertion::Assertion;
 use crate::system::{Loc, Transition, TransitionKind, TransitionSystem};
-use revterm_num::{Int, Rat};
+use revterm_num::Int;
 use revterm_poly::Var;
 use std::fmt;
 
@@ -87,11 +87,10 @@ impl fmt::Display for Config {
 /// by a valuation (only atoms over unprimed variables are considered).
 pub fn guard_holds(ts: &TransitionSystem, relation: &Assertion, vals: &Valuation) -> bool {
     relation.atoms().iter().all(|p| {
-        if p.vars().iter().any(|v| !ts.vars().is_unprimed(*v)) {
-            true
-        } else {
-            !p.eval(&|v| Rat::from(vals.get(v.index()).clone())).is_negative()
-        }
+        // Zero-allocation primed-variable scan (`Poly::vars` would build and
+        // sort a fresh vector on every step of every probe run).
+        let mentions_primed = p.terms().any(|(m, _)| m.vars().any(|v| !ts.vars().is_unprimed(v)));
+        mentions_primed || !p.eval_at_int_point(&|v| vals.get(v.index()).clone()).is_negative()
     })
 }
 
@@ -187,29 +186,28 @@ pub fn run(
     max_steps: usize,
 ) -> Vec<Config> {
     let mut trace = vec![config.clone()];
-    let mut current = config.clone();
     for _ in 0..max_steps {
-        if is_terminal(ts, &current) {
+        // The tail of the trace *is* the current configuration; working on a
+        // borrow avoids cloning every visited valuation a second time.
+        let current = trace.last().expect("trace is never empty");
+        if is_terminal(ts, current) {
             break;
         }
         let mut next = None;
         for t in ts.transitions_from(current.loc) {
             let candidates = match &t.kind {
-                TransitionKind::NdetAssign { .. } => vec![chooser(t.id, &current)],
+                TransitionKind::NdetAssign { .. } => vec![chooser(t.id, current)],
                 _ => Vec::new(),
             };
             let mut found = Vec::new();
-            successors_via(ts, &current, t, &candidates, &mut found);
+            successors_via(ts, current, t, &candidates, &mut found);
             if let Some((_, cfg)) = found.into_iter().next() {
                 next = Some(cfg);
                 break;
             }
         }
         match next {
-            Some(cfg) => {
-                trace.push(cfg.clone());
-                current = cfg;
-            }
+            Some(cfg) => trace.push(cfg),
             None => break,
         }
     }

@@ -50,6 +50,14 @@ if $run_bench_smoke; then
     mkdir -p target/ci-artifacts
     cargo run --release -q -p revterm-bench --bin session_vs_fresh nt_counter_up \
         | tee target/ci-artifacts/bench-smoke.json
+
+    # LP-engine smoke: num_profile with a small microloop runs the three
+    # simplex engines over the same problems and the degree-1 sweep, and
+    # exits non-zero on any digest divergence or a zero warm-start hit rate
+    # — the revised-simplex acceptance criteria, re-proved on every CI run.
+    echo "==> bench smoke (num_profile 30)"
+    cargo run --release -q -p revterm-bench --bin num_profile 30 \
+        | tee target/ci-artifacts/num-profile.json
 fi
 
 echo "==> CI gate passed"
