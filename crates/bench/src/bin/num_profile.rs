@@ -1,7 +1,7 @@
 //! Profiles the exact-arithmetic hot paths so that changes to `revterm_num`
 //! (and the LP/poly layers above it) can be compared across commits.
 //!
-//! Two workloads are timed and printed as one JSON object (the field-level
+//! Three workloads are timed and printed as one JSON object (the field-level
 //! schema is documented in the `revterm_bench` crate docs):
 //!
 //! * **LP-heavy microloop** — a deterministic family of Farkas-style
@@ -12,6 +12,13 @@
 //!   times**: through the revised simplex (`solve_revised`, the default
 //!   engine), the sparse tableau (`solve`) and the dense reference tableau
 //!   (`solve_dense`), with separate timings and digests.
+//! * **Poly-kernel microloop** — a deterministic polynomial family spanning
+//!   both monomial tiers (packed `u64` keys and interned large monomials),
+//!   whose flat merge/multiply kernels are timed and differentially digested
+//!   against a `BTreeMap` reference implementation; plus an entailment
+//!   cache-key hashing loop over the Farkas chain queries, run under a
+//!   counting global allocator so the "zero heap allocations on the packed
+//!   path" claim is asserted, not assumed.
 //! * **Degree-1 sweep** — the paper's running example swept over the
 //!   24-cell degree-1 configuration grid: fresh per-configuration `prove`
 //!   calls through each of the three LP engines, and a warm
@@ -26,18 +33,51 @@
 //! not change any verdict" and the "all three simplex engines are
 //! indistinguishable" acceptance criteria are checked on every run. The
 //! process exits non-zero if any engine digest or fresh/sessioned verdict
-//! comparison diverges, or if the sessioned sweep reports a zero
-//! warm-start hit rate (the revised engine's whole point).
+//! comparison diverges, if the flat poly kernels diverge from the BTreeMap
+//! reference, if the packed hashing loop allocates, or if the sessioned
+//! sweep reports a zero warm-start hit rate (the revised engine's whole
+//! point).
 //!
 //! ```text
 //! cargo run --release -p revterm-bench --bin num_profile [lp_iters]
 //! ```
 
 use revterm::{degree1_sweep, prove, ProverSession};
-use revterm_num::{rat, Rat};
-use revterm_poly::{LinExpr, Poly, Var};
+use revterm_num::{rat, Fnv64, Rat};
+use revterm_poly::{LinExpr, Monomial, Poly, Var};
 use revterm_solver::{entails_with_witness, EntailmentOptions, LpEngine, LpProblem, Rel, VarKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// A [`System`] allocator wrapper counting every `alloc`/`realloc` call, so
+/// the poly-kernel microloop can *assert* (not just claim) that entailment
+/// cache-key hashing performs zero heap allocations on the packed monomial
+/// path.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// SplitMix64 — the workspace-standard deterministic generator.
 struct Rng(u64);
@@ -56,25 +96,13 @@ impl Rng {
     }
 }
 
-/// FNV-1a over a byte stream; used to digest LP solutions and verdicts.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn write_rat(&mut self, r: &Rat) {
-        self.write(r.to_string().as_bytes());
-        self.write(b"/");
-    }
+/// Folds a rational's decimal rendering into an FNV-1a digest. Digesting the
+/// *rendering* (rather than the `Hash` impl) keeps digests stable across
+/// representation changes in the arithmetic tower — only value changes move
+/// them.
+fn write_rat(h: &mut Fnv64, r: &Rat) {
+    h.write(r.to_string().as_bytes());
+    h.write(b"/");
 }
 
 /// Builds one deterministic Farkas-style LP: a mix of equality rows tying
@@ -151,7 +179,7 @@ fn run_microloop(
     queries: &[(Vec<Poly>, Poly)],
     opts: &EntailmentOptions,
 ) -> (usize, f64, u64) {
-    let mut digest = Fnv::new();
+    let mut digest = Fnv64::new();
     let mut feasible = 0usize;
     let start = Instant::now();
     for lp in problems {
@@ -164,10 +192,10 @@ fn run_microloop(
             Some(sol) => {
                 feasible += 1;
                 digest.write(b"opt:");
-                digest.write_rat(sol.objective());
+                write_rat(&mut digest, sol.objective());
                 for (v, val) in sol.iter() {
                     digest.write(&v.0.to_le_bytes());
-                    digest.write_rat(val);
+                    write_rat(&mut digest, val);
                 }
             }
             None => digest.write(b"none;"),
@@ -179,13 +207,13 @@ fn run_microloop(
                 feasible += 1;
                 digest.write(b"yes:");
                 for lambda in &witness {
-                    digest.write_rat(lambda);
+                    write_rat(&mut digest, lambda);
                 }
             }
             None => digest.write(b"no;"),
         }
     }
-    (feasible, start.elapsed().as_secs_f64(), digest.0)
+    (feasible, start.elapsed().as_secs_f64(), digest.finish())
 }
 
 fn main() {
@@ -234,6 +262,101 @@ fn main() {
         && feasible == sparse_feasible
         && feasible == dense_feasible;
 
+    // --- Poly-kernel microloop ----------------------------------------------
+    // A deterministic polynomial family: mostly packed-tier monomials
+    // (≤ 2 factors, small exponents) with a sprinkle of interned-tier ones
+    // (3 factors, or an exponent past the packed limit) so both monomial
+    // representations are exercised. The flat merge/multiply kernels are
+    // timed and their results differentially digested against a BTreeMap
+    // reference implementation of the old `Poly` semantics.
+    let poly_family: Vec<Poly> = {
+        let mut rng = Rng(0x0501_F00D);
+        (0..48)
+            .map(|i| {
+                let mut p = Poly::zero();
+                let n_terms = 3 + (rng.in_range(0, 4) as usize);
+                for _ in 0..n_terms {
+                    let n_factors = 1 + (rng.in_range(0, 2) as usize);
+                    let m = Monomial::from_pairs(
+                        (0..n_factors)
+                            .map(|_| (Var(rng.in_range(0, 6) as u32), rng.in_range(1, 3) as u32)),
+                    );
+                    p.add_term(m, rat(rng.in_range(-5, 6)));
+                }
+                if i % 7 == 0 {
+                    // Interned tier: three distinct variables in one monomial
+                    // (too many factors to pack) and an exponent of 17
+                    // (past MAX_PACKED_EXP).
+                    p.add_term(
+                        Monomial::from_pairs([(Var(0), 1), (Var(1), 1), (Var(2), 1)]),
+                        rat(1),
+                    );
+                    p.add_term(Monomial::from_pairs([(Var(3), 17)]), rat(-2));
+                }
+                p
+            })
+            .collect()
+    };
+
+    let ref_mul = |a: &Poly, b: &Poly| -> Vec<(Monomial, Rat)> {
+        let mut map: std::collections::BTreeMap<Monomial, Rat> = std::collections::BTreeMap::new();
+        for (m1, c1) in a.flat_terms() {
+            for (m2, c2) in b.flat_terms() {
+                *map.entry(m1.mul(m2)).or_insert_with(Rat::zero) += &(c1 * c2);
+            }
+        }
+        map.into_iter().filter(|(_, c)| !c.is_zero()).collect()
+    };
+    let digest_terms = |d: &mut Fnv64, terms: &[(Monomial, Rat)]| {
+        for (m, c) in terms {
+            d.write(m.to_string().as_bytes());
+            d.write(b"=");
+            write_rat(d, c);
+        }
+        d.write(b";");
+    };
+    let mut flat_digest = Fnv64::new();
+    let mut ref_digest = Fnv64::new();
+    for pair in poly_family.windows(2) {
+        digest_terms(&mut flat_digest, (&pair[0] * &pair[1]).flat_terms());
+        digest_terms(&mut ref_digest, &ref_mul(&pair[0], &pair[1]));
+    }
+    let poly_mul_digest = flat_digest.finish();
+    let poly_digests_match = poly_mul_digest == ref_digest.finish();
+
+    let mul_rounds = 8 + lp_iters / 4;
+    let mul_start = Instant::now();
+    let mut mul_sink = 0u64;
+    for _ in 0..mul_rounds {
+        for pair in poly_family.windows(2) {
+            let prod = &pair[0] * &pair[1];
+            mul_sink = mul_sink.wrapping_add(prod.flat_terms().len() as u64);
+        }
+    }
+    let poly_mul_secs = mul_start.elapsed().as_secs_f64();
+    std::hint::black_box(mul_sink);
+
+    // Entailment cache keys hash the premise/conclusion polynomials as flat
+    // word streams. Every monomial in the chain queries is packed, so this
+    // loop must not touch the heap at all — the counting allocator turns
+    // that claim into a hard assertion.
+    let hash_rounds = 64usize;
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let hash_start = Instant::now();
+    let mut key_checksum = 0u64;
+    for _ in 0..hash_rounds {
+        for (premises, conclusion) in &queries {
+            let mut h = Fnv64::new();
+            premises.hash(&mut h);
+            conclusion.hash(&mut h);
+            key_checksum = key_checksum.wrapping_add(h.finish());
+        }
+    }
+    let poly_hash_secs = hash_start.elapsed().as_secs_f64();
+    let poly_hash_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+    std::hint::black_box(key_checksum);
+    let interned_monomials = revterm_poly::mono_pool_stats().interned;
+
     // --- Degree-1 sweep on the running example ------------------------------
     let suite = revterm_suite::full_suite();
     let bench = suite
@@ -278,11 +401,11 @@ fn main() {
     };
 
     let digest_of = |verdicts: &[bool]| {
-        let mut d = Fnv::new();
+        let mut d = Fnv64::new();
         for &p in verdicts {
             d.write(if p { b"1" } else { b"0" });
         }
-        d.0
+        d.finish()
     };
     let verdict_digest = digest_of(&fresh);
     let verdict_sparse_digest = digest_of(&sparse);
@@ -292,7 +415,7 @@ fn main() {
     let verdicts_match = fresh == sessioned;
 
     println!(
-        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_sparse_secs\":{:.3},\"lp_sparse_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_sparse_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"session_lp_solves\":{},\"session_lp_pivots\":{},\"session_lp_refactorizations\":{},\"session_warm_lookups\":{},\"session_warm_hits\":{},\"session_warm_hit_rate\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_sparse_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{}}}",
+        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_sparse_secs\":{:.3},\"lp_sparse_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"poly_mul_secs\":{:.3},\"poly_mul_digest\":\"{:016x}\",\"poly_digests_match\":{},\"poly_hash_secs\":{:.3},\"poly_hash_allocs\":{},\"interned_monomials\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_sparse_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"session_lp_solves\":{},\"session_lp_pivots\":{},\"session_lp_refactorizations\":{},\"session_warm_lookups\":{},\"session_warm_hits\":{},\"session_warm_hit_rate\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_sparse_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{}}}",
         problems.len() + queries.len(),
         feasible,
         lp_secs,
@@ -302,6 +425,12 @@ fn main() {
         lp_dense_secs,
         lp_dense_digest,
         lp_digests_match,
+        poly_mul_secs,
+        poly_mul_digest,
+        poly_digests_match,
+        poly_hash_secs,
+        poly_hash_allocs,
+        interned_monomials,
         bench.name,
         configs.len(),
         sweep_fresh_secs,
@@ -324,6 +453,16 @@ fn main() {
     let mut failed = false;
     if !lp_digests_match {
         eprintln!("FAIL: the three LP engines produced diverging solutions");
+        failed = true;
+    }
+    if !poly_digests_match {
+        eprintln!("FAIL: flat poly kernels diverged from the BTreeMap reference");
+        failed = true;
+    }
+    if poly_hash_allocs != 0 {
+        eprintln!(
+            "FAIL: entailment-key hashing allocated ({poly_hash_allocs} calls) on the packed path"
+        );
         failed = true;
     }
     if !verdict_digests_match {

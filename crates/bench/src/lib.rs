@@ -40,6 +40,12 @@
 //! | `lp_dense_secs` | same workload through the dense reference engine ([`revterm_solver::LpProblem::solve_dense`]) |
 //! | `lp_dense_digest` | digest of the dense run; must equal `lp_digest` |
 //! | `lp_digests_match` | three-way digest agreement (process exits 1 when false) |
+//! | `poly_mul_secs` | seconds for the poly-kernel microloop: flat merge-multiply over a two-tier monomial family |
+//! | `poly_mul_digest` | digest of every product's term list from the flat kernels |
+//! | `poly_digests_match` | flat kernels vs `BTreeMap` reference agreement (exit 1 when false) |
+//! | `poly_hash_secs` | seconds to hash the entailment-chain cache keys as flat word streams |
+//! | `poly_hash_allocs` | allocator calls during that hashing loop — must be 0 on the packed path (exit 1 otherwise) |
+//! | `interned_monomials` | size of the process-global large-monomial intern pool ([`revterm_poly::mono_pool_stats`]) |
 //! | `sweep_benchmark` | benchmark used for the sweep workload (the paper's running example) |
 //! | `sweep_configs` | number of degree-1 grid cells swept (24) |
 //! | `sweep_fresh_secs` | fresh per-configuration `prove` calls, revised engine |

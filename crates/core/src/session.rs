@@ -309,6 +309,21 @@ impl ProverSession {
         &self.stats
     }
 
+    /// Statistics of the monomial interning pool, surfaced next to the
+    /// session's memo-table counters.
+    ///
+    /// Monomials that do not fit the packed single-word tier are interned in
+    /// a pool of stable ids (see [`revterm_poly::mono_pool_stats`]).  The
+    /// pool is process-global rather than session-owned — interned entries
+    /// are immutable and shared by every polynomial in the process, so
+    /// scoping them per session would only duplicate entries — but sessions
+    /// are the natural place to *read* it: on the paper's degree-1/2
+    /// templates this count staying at zero is how the "everything stayed on
+    /// the allocation-free packed path" claim is checked.
+    pub fn mono_pool_stats(&self) -> revterm_poly::MonoPoolStats {
+        revterm_poly::mono_pool_stats()
+    }
+
     /// Proves non-termination with a single configuration, reusing every
     /// artifact previous calls on this session have already computed.
     ///

@@ -181,7 +181,7 @@ fn guard_atoms(ts: &TransitionSystem) -> Vec<Poly> {
             }
         }
     }
-    out.sort_by_key(|p| format!("{p}"));
+    out.sort_by(|a, b| a.flat_terms().cmp(b.flat_terms()));
     out.dedup();
     out
 }
@@ -313,10 +313,10 @@ pub fn candidate_atoms_cached(
             }
         }
     }
-    // Cached keys: rendering each polynomial once (instead of on every
-    // comparison) keeps the same deterministic order at a fraction of the
-    // cost.
-    pool.sort_by_cached_key(|p| format!("{p}"));
+    // Deterministic order on the flat term slices: comparing packed monomial
+    // words and coefficients directly, instead of rendering every polynomial
+    // to a string, keeps the pool canonical without any allocation.
+    pool.sort_by(|a, b| a.flat_terms().cmp(b.flat_terms()));
     pool.dedup();
     pool
 }

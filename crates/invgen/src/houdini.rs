@@ -105,6 +105,15 @@ pub fn synthesize_invariant_cached(
     }
 
     // Houdini fixpoint: drop atoms that are not preserved by some transition.
+    // The unprimed → primed rename is a fixed map of the system, and the
+    // fixpoint only ever *removes* atoms, so each atom's primed form is
+    // computed once here and carried through the sweeps in a parallel list
+    // instead of being re-renamed per transition per iteration.
+    let prime = |atom: &Poly| {
+        atom.rename(&|v| if ts.vars().is_unprimed(v) { ts.vars().primed(v.index()) } else { v })
+    };
+    let mut primed_sets: Vec<Vec<Poly>> =
+        atom_sets.iter().map(|set| set.iter().map(prime).collect()).collect();
     let skip = |loc: Loc| Some(loc) == options.forced_false;
     for _ in 0..options.max_iterations {
         let mut changed = false;
@@ -125,25 +134,19 @@ pub fn synthesize_invariant_cached(
             // If the premises are unsatisfiable nothing needs to be dropped.
             let target = t.target.0;
             let before = atom_sets[target].len();
-            let kept: Vec<Poly> = atom_sets[target]
+            let kept: Vec<usize> = primed_sets[target]
                 .iter()
-                .filter(|atom| {
-                    let primed = atom.rename(&|v| {
-                        if ts.vars().is_unprimed(v) {
-                            ts.vars().primed(v.index())
-                        } else {
-                            v
-                        }
-                    });
-                    premises.contains(&primed)
+                .enumerate()
+                .filter(|(_, primed)| {
+                    premises.contains(primed)
                         || entail.entails(
                             &premises,
-                            &primed,
-                            &adaptive(&premises, &primed, &options.entailment),
+                            primed,
+                            &adaptive(&premises, primed, &options.entailment),
                             lp_basis,
                         )
                 })
-                .cloned()
+                .map(|(i, _)| i)
                 .collect();
             if kept.len() != before {
                 // Check unsatisfiability once before committing to a drop: if
@@ -155,7 +158,9 @@ pub fn synthesize_invariant_cached(
                 ) {
                     continue;
                 }
-                atom_sets[target] = kept;
+                atom_sets[target] = kept.iter().map(|&i| atom_sets[target][i].clone()).collect();
+                primed_sets[target] =
+                    kept.iter().map(|&i| primed_sets[target][i].clone()).collect();
                 changed = true;
             }
         }

@@ -75,9 +75,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fnv;
 mod int;
 mod rat;
 
+pub use fnv::Fnv64;
 pub use int::{Int, ParseIntError, Sign};
 pub use rat::{ParseRatError, Rat};
 

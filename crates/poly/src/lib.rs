@@ -11,6 +11,31 @@
 //! partition the variable space.  A lighter-weight linear view ([`LinExpr`])
 //! is provided for the LP layers.
 //!
+//! # Term keys and the canonical order
+//!
+//! [`Monomial`] is a two-word `Copy` key: degree-≤ 2 monomials over small
+//! variable ids pack into a single `u64`, larger ones intern into a global
+//! pool with stable ids (see the [`Monomial`] docs and
+//! [`mono_pool_stats`]).  [`Poly`] stores its terms as a flat sorted
+//! `Vec<(MonoKey, Rat)>` — exposed via [`Poly::flat_terms`] — so caches hash
+//! term streams as plain words and LP row builders ingest them without
+//! cloning.
+//!
+//! The canonical term order is **load-bearing**: LP rows are laid out in
+//! monomial order, so the order decides Simplex pivot sequences and
+//! therefore the exact solutions the bench digests fingerprint.  It is the
+//! lexicographic order on canonical factor lists, identical on both key
+//! tiers:
+//!
+//! ```
+//! use revterm_poly::{Monomial, Poly, Var};
+//! use revterm_num::rat;
+//! let p = (Poly::var(Var(0)) + Poly::var(Var(1))).pow(2) + Poly::constant(rat(1));
+//! // 1 + x^2 + 2xy + y^2 iterates as: 1, x*y, x^2, y^2 (lex on factor lists).
+//! let order: Vec<String> = p.terms().map(|(m, _)| m.to_string()).collect();
+//! assert_eq!(order, ["1", "v0*v1", "v0^2", "v1^2"]);
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -35,8 +60,15 @@ mod monomial;
 mod poly;
 
 pub use linexpr::LinExpr;
-pub use monomial::{monomials_up_to_degree, Monomial};
+pub use monomial::{
+    mono_pool_stats, monomials_up_to_degree, MonoPoolStats, Monomial, MAX_PACKED_EXP,
+    MAX_PACKED_VAR,
+};
 pub use poly::Poly;
+
+/// The flat term-key type: an alias making `Vec<(MonoKey, Rat)>` signatures
+/// self-describing.  A [`Monomial`] *is* the key — two `Copy` machine words.
+pub type MonoKey = Monomial;
 
 /// An abstract variable identifier.
 ///

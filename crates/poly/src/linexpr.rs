@@ -2,7 +2,6 @@
 
 use crate::Var;
 use revterm_num::Rat;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Neg, Sub};
 
@@ -10,6 +9,9 @@ use std::ops::{Add, Neg, Sub};
 ///
 /// Linear expressions are the currency of the Farkas/Simplex layers: Farkas
 /// certificates, LP rows and objective functions are all [`LinExpr`] values.
+/// Coefficients are stored as a flat `Vec<(Var, Rat)>` sorted by variable
+/// with no zeros kept, so [`LinExpr::nonzeros`] walks a contiguous run that
+/// sparse consumers (the LP row builder, cache hashing) ingest directly.
 ///
 /// ```
 /// use revterm_poly::{LinExpr, Var};
@@ -22,25 +24,24 @@ use std::ops::{Add, Neg, Sub};
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct LinExpr {
     constant: Rat,
-    coeffs: BTreeMap<Var, Rat>,
+    /// Sorted by [`Var`]; no zero coefficients.
+    coeffs: Vec<(Var, Rat)>,
 }
 
 impl LinExpr {
     /// The zero expression.
     pub fn zero() -> Self {
-        LinExpr { constant: Rat::zero(), coeffs: BTreeMap::new() }
+        LinExpr { constant: Rat::zero(), coeffs: Vec::new() }
     }
 
     /// A constant expression.
     pub fn constant(c: Rat) -> Self {
-        LinExpr { constant: c, coeffs: BTreeMap::new() }
+        LinExpr { constant: c, coeffs: Vec::new() }
     }
 
     /// The expression consisting of a single variable.
     pub fn var(v: Var) -> Self {
-        let mut e = LinExpr::zero();
-        e.add_coeff(v, Rat::one());
-        e
+        LinExpr::term(v, Rat::one())
     }
 
     /// Builds `c * v`.
@@ -60,10 +61,14 @@ impl LinExpr {
         if c.is_zero() {
             return;
         }
-        let entry = self.coeffs.entry(v).or_insert_with(Rat::zero);
-        *entry += &c;
-        if entry.is_zero() {
-            self.coeffs.remove(&v);
+        match self.coeffs.binary_search_by(|(w, _)| w.cmp(&v)) {
+            Ok(i) => {
+                self.coeffs[i].1 += &c;
+                if self.coeffs[i].1.is_zero() {
+                    self.coeffs.remove(i);
+                }
+            }
+            Err(i) => self.coeffs.insert(i, (v, c)),
         }
     }
 
@@ -74,12 +79,15 @@ impl LinExpr {
 
     /// The coefficient of `v` (zero if absent).
     pub fn coeff(&self, v: Var) -> Rat {
-        self.coeffs.get(&v).cloned().unwrap_or_else(Rat::zero)
+        match self.coeffs.binary_search_by(|(w, _)| w.cmp(&v)) {
+            Ok(i) => self.coeffs[i].1.clone(),
+            Err(_) => Rat::zero(),
+        }
     }
 
     /// Iterates over `(variable, coefficient)` pairs with non-zero coefficients.
     pub fn coeffs(&self) -> impl Iterator<Item = (&Var, &Rat)> + '_ {
-        self.coeffs.iter()
+        self.coeffs.iter().map(|(v, c)| (v, c))
     }
 
     /// Nonzero-iterating view: `(variable, coefficient)` pairs in strictly
@@ -108,7 +116,7 @@ impl LinExpr {
 
     /// The variables with non-zero coefficients.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
-        self.coeffs.keys().copied()
+        self.coeffs.iter().map(|(v, _)| *v)
     }
 
     /// Returns `true` iff the expression is the constant zero.
@@ -230,6 +238,17 @@ mod tests {
         e.add_coeff(Var(0), rat(-1));
         assert!(e.is_zero());
         assert_eq!(e.vars().count(), 0);
+    }
+
+    #[test]
+    fn coeffs_stay_sorted() {
+        let mut e = LinExpr::zero();
+        for v in [7u32, 2, 9, 0, 4] {
+            e.add_coeff(Var(v), rat(1));
+        }
+        let vs: Vec<Var> = e.vars().collect();
+        assert_eq!(vs, vec![Var(0), Var(2), Var(4), Var(7), Var(9)]);
+        assert_eq!(e.num_nonzeros(), 5);
     }
 
     #[test]

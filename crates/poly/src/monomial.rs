@@ -1,26 +1,205 @@
-//! Monomials: products of variable powers.
+//! Monomials as `Copy`-cheap two-tier keys: packed words + an interning pool.
+//!
+//! A [`Monomial`] is a product `v1^e1 * v2^e2 * ...` of variable powers.  It
+//! used to own a sorted `Vec<(Var, u32)>`; it is now a **two-word `Copy`
+//! key** with two canonical representations:
+//!
+//! * **Packed** — monomials with at most two factors, variable ids below
+//!   [`MAX_PACKED_VAR`] and exponents at most [`MAX_PACKED_EXP`] are encoded
+//!   into a single `u64` (this covers every monomial the degree-1/2
+//!   invariant and ranking templates produce).  The encoding is
+//!   order-preserving: comparing two packed keys as integers gives exactly
+//!   the old lexicographic factor-list order.
+//! * **Interned** — anything larger is interned once in a process-global
+//!   pool and represented by a `&'static` reference carrying a stable
+//!   `u32` id (see [`MonoPoolStats`]).  Equal factor lists always intern to
+//!   the same entry, so equality is a pointer comparison and hashing is a
+//!   single word write.
+//!
+//! The tier is a pure function of the factor list — a packable monomial is
+//! *never* interned — so `Eq`, `Ord` and `Hash` remain representation
+//! independent, and `Hash` touches one machine word per monomial no matter
+//! how the value was computed.
+//!
+//! # Canonical order invariant
+//!
+//! [`Monomial`]'s `Ord` is the lexicographic order on the canonical
+//! (variable-sorted, positive-exponent) factor lists — bitwise the same
+//! order the previous owned representation derived, on both tiers and
+//! across them.  The entailment layer sorts LP rows by this order, so it is
+//! load-bearing for digest stability, and the packed tier must compare as
+//! plain integers:
+//!
+//! ```
+//! use revterm_poly::{Monomial, Var};
+//! let one = Monomial::one();
+//! let x = Monomial::var(Var(0));
+//! let xy = Monomial::from_pairs([(Var(0), 1), (Var(1), 1)]);
+//! let x2 = Monomial::from_pairs([(Var(0), 2)]);
+//! let y = Monomial::var(Var(1));
+//! // Old derived order: 1 < x < x*y < x^2 < y  (prefix-extension before
+//! // exponent growth, variable index before everything else).
+//! let mut ms = vec![y, x2, x, xy, one];
+//! ms.sort();
+//! assert_eq!(ms, vec![one, x, xy, x2, y]);
+//! ```
 
 use crate::Var;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Bits of a packed factor slot reserved for the exponent.
+const EXP_BITS: u32 = 4;
+/// Largest exponent a packed factor slot can hold.
+pub const MAX_PACKED_EXP: u32 = (1 << EXP_BITS) - 1;
+/// Largest variable id a packed factor slot can hold (`var + 1` must fit in
+/// the remaining 28 bits of the 32-bit slot).
+pub const MAX_PACKED_VAR: u32 = (1 << (32 - EXP_BITS)) - 2;
+
+/// The packed monomial representation: two big-endian 32-bit factor slots in
+/// one `u64`, each slot `((var + 1) << 4) | exp` with `0` meaning "no
+/// factor".  `0` as a whole is the constant monomial `1`.
+///
+/// Integer comparison of packed keys equals lexicographic comparison of the
+/// factor lists: the variable id occupies the high bits of each slot (so a
+/// smaller variable wins before exponents are looked at), an absent slot is
+/// `0` (so a strict prefix sorts first), and slots are stored most
+/// significant first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct PackedMono(pub(crate) u64);
+
+// The whole point of the packed tier: a term key is one machine word.
+const _: () = assert!(std::mem::size_of::<PackedMono>() <= 8);
+
+/// An interned (non-packable) monomial: the canonical factor list plus a
+/// stable id assigned in first-encounter order.  Entries are allocated once
+/// and leaked, so `&'static InternedMono` references are freely `Copy` and
+/// shareable across threads.
+#[derive(Debug)]
+pub(crate) struct InternedMono {
+    /// Stable pool id (deterministic for a deterministic run); hashing an
+    /// interned monomial writes this single word.
+    id: u32,
+    /// Total degree, precomputed.
+    degree: u32,
+    /// Canonical factor list: sorted by variable, all exponents positive.
+    factors: Box<[(Var, u32)]>,
+}
+
+/// Statistics of the process-global monomial interning pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonoPoolStats {
+    /// Number of distinct monomials interned since process start (monomials
+    /// that did not fit the packed tier).
+    pub interned: usize,
+}
+
+struct Pool {
+    map: HashMap<&'static [(Var, u32)], &'static InternedMono>,
+}
+
+fn pool() -> &'static Mutex<Pool> {
+    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Pool { map: HashMap::new() }))
+}
+
+/// Current [`MonoPoolStats`] of the process-global interning pool.
+///
+/// The pool is intentionally process-wide (interned entries are immutable
+/// and leaked once), so ids stay meaningful across every [`crate::Poly`] in
+/// the process — including values shipped between threads.  Session-level
+/// consumers surface these stats next to their cache counters.
+pub fn mono_pool_stats() -> MonoPoolStats {
+    MonoPoolStats { interned: pool().lock().expect("monomial pool poisoned").map.len() }
+}
+
+/// Interns a canonical factor list that does not fit the packed tier.
+fn intern(factors: &[(Var, u32)]) -> &'static InternedMono {
+    debug_assert!(try_pack(factors).is_none(), "packable monomials must never be interned");
+    let mut pool = pool().lock().expect("monomial pool poisoned");
+    if let Some(entry) = pool.map.get(factors) {
+        return entry;
+    }
+    let id = u32::try_from(pool.map.len()).expect("monomial pool overflow");
+    let degree = factors.iter().map(|&(_, e)| e).sum();
+    let entry: &'static InternedMono = Box::leak(Box::new(InternedMono {
+        id,
+        degree,
+        factors: factors.to_vec().into_boxed_slice(),
+    }));
+    pool.map.insert(&entry.factors, entry);
+    entry
+}
+
+/// Packs a canonical factor list if it fits, returning the key.
+fn try_pack(factors: &[(Var, u32)]) -> Option<PackedMono> {
+    if factors.len() > 2 {
+        return None;
+    }
+    let mut key = 0u64;
+    for &(v, e) in factors {
+        if v.0 > MAX_PACKED_VAR || e == 0 || e > MAX_PACKED_EXP {
+            return None;
+        }
+        let slot = (((v.0 + 1) << EXP_BITS) | e) as u64;
+        key = (key << 32) | slot;
+    }
+    // A single factor occupies the *high* slot so prefix extension sorts
+    // after the prefix itself.
+    if factors.len() == 1 {
+        key <<= 32;
+    }
+    Some(PackedMono(key))
+}
+
+/// Decodes a packed key into its (at most two) factors.
+fn unpack(key: u64) -> ([(Var, u32); 2], usize) {
+    let mut out = [(Var(0), 0u32); 2];
+    let mut n = 0;
+    for slot in [(key >> 32) as u32, key as u32] {
+        if slot != 0 {
+            out[n] = (Var((slot >> EXP_BITS) - 1), slot & MAX_PACKED_EXP);
+            n += 1;
+        }
+    }
+    (out, n)
+}
+
+#[derive(Clone, Copy)]
+enum Repr {
+    Packed(PackedMono),
+    Interned(&'static InternedMono),
+}
 
 /// A monomial, i.e. a product `v1^e1 * v2^e2 * ...` of variable powers.
 ///
-/// Stored as a sorted list of `(variable, exponent)` pairs with strictly
-/// positive exponents; the empty list denotes the constant monomial `1`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Monomial {
-    factors: Vec<(Var, u32)>,
-}
+/// `Copy`-cheap (two machine words): see the [crate docs](crate) for the
+/// packed/interned tier split and the canonical order invariant.  The empty
+/// product denotes the constant monomial `1`.
+#[derive(Clone, Copy)]
+pub struct Monomial(Repr);
 
 impl Monomial {
     /// The constant monomial `1`.
     pub fn one() -> Self {
-        Monomial { factors: Vec::new() }
+        Monomial(Repr::Packed(PackedMono(0)))
     }
 
     /// The monomial consisting of a single variable.
     pub fn var(v: Var) -> Self {
-        Monomial { factors: vec![(v, 1)] }
+        Monomial::from_canonical(&[(v, 1)])
+    }
+
+    /// Builds a monomial from an already canonical (variable-sorted,
+    /// positive-exponent) factor list, choosing the tier.
+    fn from_canonical(factors: &[(Var, u32)]) -> Self {
+        debug_assert!(factors.windows(2).all(|w| w[0].0 < w[1].0), "factors must be sorted");
+        debug_assert!(factors.iter().all(|&(_, e)| e > 0), "exponents must be positive");
+        match try_pack(factors) {
+            Some(key) => Monomial(Repr::Packed(key)),
+            None => Monomial(Repr::Interned(intern(factors))),
+        }
     }
 
     /// Builds a monomial from `(variable, exponent)` pairs.
@@ -45,42 +224,120 @@ impl Monomial {
             }
             merged.push((v, e));
         }
-        Monomial { factors: merged }
+        Monomial::from_canonical(&merged)
     }
 
     /// Returns `true` iff this is the constant monomial `1`.
     pub fn is_one(&self) -> bool {
-        self.factors.is_empty()
+        matches!(self.0, Repr::Packed(PackedMono(0)))
+    }
+
+    /// Returns `true` iff the monomial lives in the packed (single-`u64`)
+    /// tier; `false` means it is interned in the pool.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.0, Repr::Packed(_))
+    }
+
+    /// Runs `f` on the canonical factor slice without allocating.
+    fn with_factors<R>(&self, f: impl FnOnce(&[(Var, u32)]) -> R) -> R {
+        match self.0 {
+            Repr::Packed(PackedMono(key)) => {
+                let (buf, n) = unpack(key);
+                f(&buf[..n])
+            }
+            Repr::Interned(m) => f(&m.factors),
+        }
     }
 
     /// Total degree (sum of exponents).
     pub fn degree(&self) -> u32 {
-        self.factors.iter().map(|&(_, e)| e).sum()
+        match self.0 {
+            Repr::Packed(PackedMono(key)) => {
+                ((key >> 32) as u32 & MAX_PACKED_EXP) + (key as u32 & MAX_PACKED_EXP)
+            }
+            Repr::Interned(m) => m.degree,
+        }
     }
 
     /// Exponent of a variable (zero if absent).
     pub fn exponent(&self, v: Var) -> u32 {
-        self.factors.iter().find(|&&(w, _)| w == v).map(|&(_, e)| e).unwrap_or(0)
+        self.with_factors(|fs| fs.iter().find(|&&(w, _)| w == v).map(|&(_, e)| e).unwrap_or(0))
     }
 
-    /// Iterates over `(variable, exponent)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (Var, u32)> + '_ {
-        self.factors.iter().copied()
+    /// Iterates over `(variable, exponent)` pairs in canonical (variable
+    /// ascending) order.  Allocation-free on both tiers.
+    pub fn iter(&self) -> Factors {
+        match self.0 {
+            Repr::Packed(PackedMono(key)) => {
+                let (buf, n) = unpack(key);
+                Factors(FactorsInner::Inline { buf, len: n as u8, pos: 0 })
+            }
+            Repr::Interned(m) => Factors(FactorsInner::Slice(m.factors.iter())),
+        }
     }
 
     /// The variables occurring in the monomial.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
-        self.factors.iter().map(|&(v, _)| v)
+        self.iter().map(|(v, _)| v)
     }
 
-    /// Product of two monomials.
+    /// Product of two monomials.  Both-packed products merge on the stack
+    /// and re-pack without touching the pool unless the result overflows
+    /// the packed tier.
     pub fn mul(&self, other: &Monomial) -> Monomial {
-        Monomial::from_pairs(self.iter().chain(other.iter()))
+        self.with_factors(|a| {
+            other.with_factors(|b| {
+                // Merge two canonical lists; spill to a Vec only when the
+                // merged list cannot fit the stack buffer.
+                let mut buf = [(Var(0), 0u32); 8];
+                let (mut i, mut j, mut n) = (0, 0, 0);
+                let mut spill: Vec<(Var, u32)> = Vec::new();
+                let mut push = |item: (Var, u32), n: &mut usize, spill: &mut Vec<(Var, u32)>| {
+                    if !spill.is_empty() {
+                        spill.push(item);
+                    } else if *n < buf.len() {
+                        buf[*n] = item;
+                        *n += 1;
+                    } else {
+                        spill.extend_from_slice(&buf);
+                        spill.push(item);
+                    }
+                };
+                while i < a.len() && j < b.len() {
+                    match a[i].0.cmp(&b[j].0) {
+                        std::cmp::Ordering::Less => {
+                            push(a[i], &mut n, &mut spill);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            push(b[j], &mut n, &mut spill);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            push((a[i].0, a[i].1 + b[j].1), &mut n, &mut spill);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                for &f in &a[i..] {
+                    push(f, &mut n, &mut spill);
+                }
+                for &f in &b[j..] {
+                    push(f, &mut n, &mut spill);
+                }
+                if spill.is_empty() {
+                    Monomial::from_canonical(&buf[..n])
+                } else {
+                    Monomial::from_canonical(&spill)
+                }
+            })
+        })
     }
 
     /// Returns `true` iff the monomial mentions only variables in `allowed`.
     pub fn uses_only(&self, allowed: &dyn Fn(Var) -> bool) -> bool {
-        self.factors.iter().all(|&(v, _)| allowed(v))
+        self.with_factors(|fs| fs.iter().all(|&(v, _)| allowed(v)))
     }
 
     /// Renders the monomial using a variable name resolver.
@@ -89,7 +346,7 @@ impl Monomial {
             return "1".to_string();
         }
         let mut parts = Vec::new();
-        for &(v, e) in &self.factors {
+        for (v, e) in self.iter() {
             if e == 1 {
                 parts.push(names(v));
             } else {
@@ -100,54 +357,154 @@ impl Monomial {
     }
 }
 
+impl Default for Monomial {
+    fn default() -> Self {
+        Monomial::one()
+    }
+}
+
+impl PartialEq for Monomial {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Packed(a), Repr::Packed(b)) => a == b,
+            // Interning is canonical: equal factor lists share one entry.
+            (Repr::Interned(a), Repr::Interned(b)) => std::ptr::eq(*a, *b),
+            // A packable monomial is never interned, so cross-tier values
+            // always differ.
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Monomial {}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (&self.0, &other.0) {
+            // The packed encoding is order-preserving: integer comparison is
+            // the lexicographic factor-list comparison.
+            (Repr::Packed(a), Repr::Packed(b)) => a.cmp(b),
+            (Repr::Interned(a), Repr::Interned(b)) if std::ptr::eq(*a, *b) => {
+                std::cmp::Ordering::Equal
+            }
+            _ => self.with_factors(|a| other.with_factors(|b| a.cmp(b))),
+        }
+    }
+}
+
+impl std::hash::Hash for Monomial {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // One word per monomial.  Valid packed keys are either 0 or have a
+        // non-zero high slot, so `id + 1` (high half zero, low half
+        // non-zero) can never collide with a packed key.
+        match self.0 {
+            Repr::Packed(PackedMono(key)) => state.write_u64(key),
+            Repr::Interned(m) => state.write_u64(m.id as u64 + 1),
+        }
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Monomial({self})")
+    }
+}
+
 impl fmt::Display for Monomial {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.display_with(&|v| v.to_string()))
     }
 }
 
+enum FactorsInner {
+    Inline { buf: [(Var, u32); 2], len: u8, pos: u8 },
+    Slice(std::slice::Iter<'static, (Var, u32)>),
+}
+
+/// Iterator over a monomial's `(variable, exponent)` factors (see
+/// [`Monomial::iter`]).  Does not borrow the monomial: packed factors are
+/// decoded inline and interned factors live in the `'static` pool.
+pub struct Factors(FactorsInner);
+
+impl Iterator for Factors {
+    type Item = (Var, u32);
+
+    fn next(&mut self) -> Option<(Var, u32)> {
+        match &mut self.0 {
+            FactorsInner::Inline { buf, len, pos } => {
+                if pos < len {
+                    let item = buf[*pos as usize];
+                    *pos += 1;
+                    Some(item)
+                } else {
+                    None
+                }
+            }
+            FactorsInner::Slice(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.0 {
+            FactorsInner::Inline { len, pos, .. } => (len - pos) as usize,
+            FactorsInner::Slice(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Factors {}
+
 /// Enumerates all monomials over `vars` of total degree at most `max_degree`,
-/// in a deterministic order starting with the constant monomial.
+/// in the canonical `(degree, lexicographic)` order starting with the
+/// constant monomial.
 ///
 /// This is used both for invariant/ranking templates ("all monomials of
 /// degree ≤ D") and for Handelman-style products of constraint polynomials.
+/// The enumeration *generates* in canonical order — degree level by degree
+/// level, lexicographically within a level — so no sorting or deduplication
+/// passes run at all.
 ///
 /// ```
 /// use revterm_poly::{monomials_up_to_degree, Var};
 /// let ms = monomials_up_to_degree(&[Var(0), Var(1)], 2);
-/// assert_eq!(ms.len(), 6); // 1, x, y, x^2, x*y, y^2
+/// assert_eq!(ms.len(), 6); // 1, x, y, x*y, x^2, y^2
 /// ```
 pub fn monomials_up_to_degree(vars: &[Var], max_degree: u32) -> Vec<Monomial> {
-    let mut result = vec![Monomial::one()];
-    let mut frontier = vec![Monomial::one()];
-    for _ in 0..max_degree {
-        let mut next = Vec::new();
-        for m in &frontier {
-            // Only extend with variables >= the largest variable in `m` to
-            // avoid generating the same monomial twice.
-            let min_var = m.factors.last().map(|&(v, _)| v);
-            for &v in vars {
-                if let Some(mv) = min_var {
-                    if v < mv {
-                        continue;
-                    }
-                }
-                let ext = m.mul(&Monomial::var(v));
-                next.push(ext);
-            }
-        }
-        next.sort();
-        next.dedup();
-        result.extend(next.iter().cloned());
-        frontier = next;
+    let mut sorted: Vec<Var> = vars.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut result = Vec::new();
+    let mut prefix: Vec<(Var, u32)> = Vec::new();
+    for d in 0..=max_degree {
+        gen_exact_degree(&sorted, d, &mut prefix, &mut result);
     }
-    result.sort();
-    result.dedup();
-    // Sort by (degree, lexicographic) for readability and determinism.
-    // Compare by reference: a sort key of `(degree, clone)` would clone
-    // every monomial O(n log n) times.
-    result.sort_by(|a, b| a.degree().cmp(&b.degree()).then_with(|| a.cmp(b)));
     result
+}
+
+/// Emits, in lexicographic factor-list order, every monomial
+/// `prefix * (product over a subset of vars)` of additional degree exactly
+/// `d` whose extra factors use strictly increasing variables from `vars`.
+fn gen_exact_degree(vars: &[Var], d: u32, prefix: &mut Vec<(Var, u32)>, out: &mut Vec<Monomial>) {
+    if d == 0 {
+        out.push(Monomial::from_canonical(prefix));
+        return;
+    }
+    for (idx, &v) in vars.iter().enumerate() {
+        // Lexicographic order: a smaller first-variable exponent is a
+        // "shorter" slot, so exponents ascend before the next variable.
+        for e in 1..=d {
+            prefix.push((v, e));
+            gen_exact_degree(&vars[idx + 1..], d - e, prefix, out);
+            prefix.pop();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,9 +570,130 @@ mod tests {
     }
 
     #[test]
+    fn enumeration_is_in_canonical_order_without_sorting() {
+        // The generator must emit (degree, lex) order directly — the same
+        // order the old sort-at-the-end implementation produced.
+        for (vars, max_d) in [
+            (vec![Var(0), Var(1)], 3u32),
+            (vec![Var(2), Var(0), Var(7)], 4),
+            (vec![Var(1)], 5),
+            (vec![Var(3), Var(1), Var(1), Var(2)], 3), // unsorted with dups
+        ] {
+            let ms = monomials_up_to_degree(&vars, max_d);
+            let mut reference = ms.clone();
+            reference.sort_by(|a, b| a.degree().cmp(&b.degree()).then_with(|| a.cmp(b)));
+            assert_eq!(ms, reference, "order mismatch for {vars:?} d={max_d}");
+            let mut dedup = ms.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), ms.len(), "duplicates for {vars:?} d={max_d}");
+        }
+    }
+
+    #[test]
     fn uses_only() {
         let m = Monomial::from_pairs([(Var(0), 1), (Var(5), 2)]);
         assert!(m.uses_only(&|v| v.0 <= 5));
         assert!(!m.uses_only(&|v| v.0 <= 4));
+    }
+
+    /// The reference order the key tiers must reproduce: lexicographic
+    /// comparison of canonical factor lists (the old derived `Ord`).
+    fn ref_cmp(a: &Monomial, b: &Monomial) -> std::cmp::Ordering {
+        let fa: Vec<(Var, u32)> = a.iter().collect();
+        let fb: Vec<(Var, u32)> = b.iter().collect();
+        fa.cmp(&fb)
+    }
+
+    #[test]
+    fn packed_tier_boundaries() {
+        // Degree-≤2 small-var monomials pack.
+        assert!(Monomial::one().is_packed());
+        assert!(Monomial::var(Var(0)).is_packed());
+        assert!(Monomial::from_pairs([(Var(0), 2)]).is_packed());
+        assert!(Monomial::from_pairs([(Var(0), 1), (Var(1), 1)]).is_packed());
+        assert!(Monomial::from_pairs([(Var(MAX_PACKED_VAR), MAX_PACKED_EXP)]).is_packed());
+        // Exponent overflow falls back to the interned tier.
+        assert!(!Monomial::from_pairs([(Var(0), MAX_PACKED_EXP + 1)]).is_packed());
+        // Var-id overflow falls back.
+        assert!(!Monomial::from_pairs([(Var(MAX_PACKED_VAR + 1), 1)]).is_packed());
+        // More than two factors fall back.
+        assert!(!Monomial::from_pairs([(Var(0), 1), (Var(1), 1), (Var(2), 1)]).is_packed());
+        // The tier is canonical: multiplying back below the boundary returns
+        // to the packed tier.
+        let big = Monomial::from_pairs([(Var(0), 1), (Var(1), 1), (Var(2), 1)]);
+        assert!(!big.is_packed());
+        assert_eq!(big.degree(), 3);
+    }
+
+    #[test]
+    fn eq_ord_hash_agree_across_tiers() {
+        use std::hash::{Hash, Hasher};
+        let fnv = |m: &Monomial| {
+            let mut h = revterm_num::Fnv64::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        // A mixed bag straddling the boundary: packed, exponent-overflow
+        // interned, var-overflow interned, many-factor interned.
+        let ms = vec![
+            Monomial::one(),
+            Monomial::var(Var(0)),
+            Monomial::var(Var(1)),
+            Monomial::from_pairs([(Var(0), 2)]),
+            Monomial::from_pairs([(Var(0), 1), (Var(1), 1)]),
+            Monomial::from_pairs([(Var(0), MAX_PACKED_EXP + 1)]),
+            Monomial::from_pairs([(Var(MAX_PACKED_VAR + 1), 1)]),
+            Monomial::from_pairs([(Var(0), 1), (Var(1), 1), (Var(2), 1)]),
+            Monomial::from_pairs([(Var(0), 1), (Var(1), 2), (Var(2), 3)]),
+        ];
+        for a in &ms {
+            for b in &ms {
+                assert_eq!(a.cmp(b), ref_cmp(a, b), "ord mismatch: {a} vs {b}");
+                assert_eq!(a == b, ref_cmp(a, b).is_eq(), "eq mismatch: {a} vs {b}");
+                if a == b {
+                    assert_eq!(fnv(a), fnv(b), "hash mismatch on equal {a}");
+                }
+            }
+        }
+        // Independently built equal monomials intern to the same entry.
+        let x = Monomial::from_pairs([(Var(3), 7), (Var(9), 20)]);
+        let y = Monomial::from_pairs([(Var(9), 20), (Var(3), 7)]);
+        assert!(!x.is_packed());
+        assert_eq!(x, y);
+        assert_eq!(fnv(&x), fnv(&y));
+        assert!(mono_pool_stats().interned > 0);
+    }
+
+    #[test]
+    fn prop_order_matches_factor_lex_on_random_monomials() {
+        // SplitMix64 differential loop over the tier boundary.
+        let mut state = 0x4D4F_4E4Fu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let random_mono = |next: &mut dyn FnMut() -> u64| {
+            let n = (next() % 4) as usize;
+            Monomial::from_pairs((0..n).map(|_| {
+                let v = Var((next() % 6) as u32);
+                let e = (next() % 20) as u32; // exponents past MAX_PACKED_EXP
+                (v, e)
+            }))
+        };
+        let ms: Vec<Monomial> = (0..64).map(|_| random_mono(&mut next)).collect();
+        for a in &ms {
+            for b in &ms {
+                assert_eq!(a.cmp(b), ref_cmp(a, b), "ord mismatch: {a:?} vs {b:?}");
+                let prod = a.mul(b);
+                // Multiplication agrees with merging factor maps.
+                for v in (0..6).map(Var) {
+                    assert_eq!(prod.exponent(v), a.exponent(v) + b.exponent(v));
+                }
+            }
+        }
     }
 }

@@ -2,14 +2,19 @@
 
 use crate::{LinExpr, Monomial, Var};
 use revterm_num::{Int, Rat};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// A multivariate polynomial with [`Rat`] coefficients.
 ///
-/// Stored as a map from [`Monomial`] to non-zero coefficient (canonical:
-/// no zero coefficients are ever kept).
+/// Stored as a flat `Vec` of `(monomial, coefficient)` pairs, sorted by the
+/// canonical [`Monomial`] order with no zero coefficients — the same
+/// canonical sequence the previous `BTreeMap` representation iterated, now
+/// contiguous in memory.  Addition and subtraction are sorted-list merges,
+/// multiplication expands cross products and coalesces one sorted run, and
+/// cache layers can hash or ship the term stream directly via
+/// [`Poly::flat_terms`] without walking a tree.
 ///
 /// ```
 /// use revterm_poly::{Poly, Var};
@@ -21,13 +26,14 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Poly {
-    terms: BTreeMap<Monomial, Rat>,
+    /// Sorted by [`Monomial`]'s canonical order; no zero coefficients.
+    terms: Vec<(Monomial, Rat)>,
 }
 
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Poly { terms: BTreeMap::new() }
+        Poly { terms: Vec::new() }
     }
 
     /// The constant polynomial `1`.
@@ -37,11 +43,7 @@ impl Poly {
 
     /// A constant polynomial.
     pub fn constant(c: Rat) -> Self {
-        let mut terms = BTreeMap::new();
-        if !c.is_zero() {
-            terms.insert(Monomial::one(), c);
-        }
-        Poly { terms }
+        Poly::from_term(Monomial::one(), c)
     }
 
     /// A constant polynomial from an `i64`.
@@ -56,9 +58,9 @@ impl Poly {
 
     /// A single term `c * m`.
     pub fn from_term(m: Monomial, c: Rat) -> Self {
-        let mut terms = BTreeMap::new();
+        let mut terms = Vec::new();
         if !c.is_zero() {
-            terms.insert(m, c);
+            terms.push((m, c));
         }
         Poly { terms }
     }
@@ -66,11 +68,9 @@ impl Poly {
     /// Builds a polynomial from `(monomial, coefficient)` pairs, merging
     /// duplicates and dropping zero coefficients.
     pub fn from_terms<I: IntoIterator<Item = (Monomial, Rat)>>(iter: I) -> Self {
-        let mut p = Poly::zero();
-        for (m, c) in iter {
-            p.add_term(m, c);
-        }
-        p
+        let mut terms: Vec<(Monomial, Rat)> = iter.into_iter().collect();
+        terms.sort_by_key(|t| t.0);
+        Poly { terms: coalesce_sorted(terms) }
     }
 
     /// Adds `c * m` in place.
@@ -78,10 +78,14 @@ impl Poly {
         if c.is_zero() {
             return;
         }
-        let entry = self.terms.entry(m.clone()).or_insert_with(Rat::zero);
-        *entry += &c;
-        if entry.is_zero() {
-            self.terms.remove(&m);
+        match self.terms.binary_search_by(|(k, _)| k.cmp(&m)) {
+            Ok(i) => {
+                self.terms[i].1 += &c;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (m, c)),
         }
     }
 
@@ -92,7 +96,7 @@ impl Poly {
 
     /// Returns `true` iff the polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.keys().all(|m| m.is_one())
+        self.terms.iter().all(|(m, _)| m.is_one())
     }
 
     /// Returns the constant value if the polynomial is constant.
@@ -106,17 +110,36 @@ impl Poly {
 
     /// The coefficient of the constant monomial.
     pub fn constant_term(&self) -> Rat {
-        self.terms.get(&Monomial::one()).cloned().unwrap_or_else(Rat::zero)
+        // The constant monomial is the minimum of the canonical order, so it
+        // can only sit in slot 0.
+        match self.terms.first() {
+            Some((m, c)) if m.is_one() => c.clone(),
+            _ => Rat::zero(),
+        }
     }
 
     /// The coefficient of a monomial (zero if absent).
     pub fn coefficient(&self, m: &Monomial) -> Rat {
-        self.terms.get(m).cloned().unwrap_or_else(Rat::zero)
+        match self.terms.binary_search_by(|(k, _)| k.cmp(m)) {
+            Ok(i) => self.terms[i].1.clone(),
+            Err(_) => Rat::zero(),
+        }
     }
 
     /// Iterates over `(monomial, coefficient)` pairs in canonical order.
     pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rat)> + '_ {
-        self.terms.iter()
+        self.terms.iter().map(|(m, c)| (m, c))
+    }
+
+    /// The raw sorted term slice: `(monomial, coefficient)` pairs in
+    /// canonical order with no zero coefficients.
+    ///
+    /// This is the zero-copy ingestion surface for cache-key hashing and
+    /// sparse-row construction: monomials are single-word `Copy` keys, so a
+    /// consumer can fold the whole polynomial into a hasher (or an LP row)
+    /// as one flat word stream without cloning anything.
+    pub fn flat_terms(&self) -> &[(Monomial, Rat)] {
+        &self.terms
     }
 
     /// Number of (non-zero) terms.
@@ -126,13 +149,12 @@ impl Poly {
 
     /// Total degree (degree of the zero polynomial is 0 by convention).
     pub fn total_degree(&self) -> u32 {
-        self.terms.keys().map(|m| m.degree()).max().unwrap_or(0)
+        self.terms.iter().map(|(m, _)| m.degree()).max().unwrap_or(0)
     }
 
     /// The set of variables that occur in the polynomial.
     pub fn vars(&self) -> Vec<Var> {
-        let mut out: Vec<Var> =
-            self.terms.keys().flat_map(|m| m.vars().collect::<Vec<_>>()).collect();
+        let mut out: Vec<Var> = self.terms.iter().flat_map(|(m, _)| m.vars()).collect();
         out.sort();
         out.dedup();
         out
@@ -143,7 +165,10 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero();
         }
-        Poly { terms: self.terms.iter().map(|(m, v)| (m.clone(), v * c)).collect() }
+        if c.is_one() {
+            return self.clone();
+        }
+        Poly { terms: self.terms.iter().map(|(m, v)| (*m, v * c)).collect() }
     }
 
     /// Raises the polynomial to a non-negative power.
@@ -244,7 +269,7 @@ impl Poly {
     /// multiplier used.
     pub fn clear_denominators(&self) -> (Poly, Int) {
         let mut lcm = Int::one();
-        for c in self.terms.values() {
+        for (_, c) in &self.terms {
             lcm = lcm.lcm(&c.denom());
         }
         let mult = Rat::from(lcm.clone());
@@ -257,7 +282,7 @@ impl Poly {
             return "0".to_string();
         }
         // Order terms by descending degree for readability.
-        let mut terms: Vec<(&Monomial, &Rat)> = self.terms.iter().collect();
+        let mut terms: Vec<(&Monomial, &Rat)> = self.terms().collect();
         terms.sort_by_key(|(m, _)| std::cmp::Reverse(m.degree()));
         let mut out = String::new();
         for (i, (m, c)) in terms.iter().enumerate() {
@@ -282,6 +307,25 @@ impl Poly {
         }
         out
     }
+}
+
+/// Sums runs of equal monomials in a sorted term list and drops zeros.
+fn coalesce_sorted(terms: Vec<(Monomial, Rat)>) -> Vec<(Monomial, Rat)> {
+    let mut out: Vec<(Monomial, Rat)> = Vec::with_capacity(terms.len());
+    for (m, c) in terms {
+        match out.last_mut() {
+            Some(last) if last.0 == m => last.1 += &c,
+            _ => {
+                out.push((m, c));
+                continue;
+            }
+        }
+        if out.last().is_some_and(|(_, c)| c.is_zero()) {
+            out.pop();
+        }
+    }
+    out.retain(|(_, c)| !c.is_zero());
+    out
 }
 
 impl fmt::Display for Poly {
@@ -309,35 +353,75 @@ impl From<Rat> for Poly {
 impl<'b> Add<&'b Poly> for &Poly {
     type Output = Poly;
     fn add(self, rhs: &'b Poly) -> Poly {
-        let mut out = self.clone();
-        for (m, c) in &rhs.terms {
-            out.add_term(m.clone(), c.clone());
-        }
-        out
+        merge_terms(&self.terms, &rhs.terms, false)
     }
 }
 
 impl<'b> Sub<&'b Poly> for &Poly {
     type Output = Poly;
     fn sub(self, rhs: &'b Poly) -> Poly {
-        let mut out = self.clone();
-        for (m, c) in &rhs.terms {
-            out.add_term(m.clone(), -c.clone());
-        }
-        out
+        merge_terms(&self.terms, &rhs.terms, true)
     }
+}
+
+/// Merges two sorted term lists, adding (or subtracting) coefficients of
+/// equal monomials and dropping exact cancellations.
+fn merge_terms(a: &[(Monomial, Rat)], b: &[(Monomial, Rat)], negate_b: bool) -> Poly {
+    let mut out: Vec<(Monomial, Rat)> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            Ordering::Greater => {
+                let (m, c) = &b[j];
+                out.push((*m, if negate_b { -c.clone() } else { c.clone() }));
+                j += 1;
+            }
+            Ordering::Equal => {
+                let c = if negate_b { &a[i].1 - &b[j].1 } else { &a[i].1 + &b[j].1 };
+                if !c.is_zero() {
+                    out.push((a[i].0, c));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for (m, c) in &b[j..] {
+        out.push((*m, if negate_b { -c.clone() } else { c.clone() }));
+    }
+    Poly { terms: out }
 }
 
 impl<'b> Mul<&'b Poly> for &Poly {
     type Output = Poly;
     fn mul(self, rhs: &'b Poly) -> Poly {
-        let mut out = Poly::zero();
+        // Constant factors never change the monomial set: skip the expansion
+        // and reuse the other operand's sorted terms.  The `products` stage
+        // of the entailment oracle multiplies by `1` on every query, so this
+        // path is hot.
+        if self.is_constant() {
+            return rhs.scale(&self.constant_term());
+        }
+        if rhs.is_constant() {
+            return self.scale(&rhs.constant_term());
+        }
+        // Expand all cross products, then coalesce one sorted run.  The
+        // monomial products are Copy keys, so the expansion is a flat buffer
+        // of word pairs plus the coefficient products.
+        let mut prods: Vec<(Monomial, Rat)> =
+            Vec::with_capacity(self.terms.len() * rhs.terms.len());
         for (m1, c1) in &self.terms {
             for (m2, c2) in &rhs.terms {
-                out.add_term(m1.mul(m2), c1 * c2);
+                prods.push((m1.mul(m2), c1 * c2));
             }
         }
-        out
+        prods.sort_unstable_by_key(|t| t.0);
+        Poly { terms: coalesce_sorted(prods) }
     }
 }
 
@@ -393,6 +477,7 @@ impl std::iter::Sum for Poly {
 mod tests {
     use super::*;
     use revterm_num::rat;
+    use std::collections::BTreeMap;
 
     /// SplitMix64, as in `revterm-num`: deterministic substitute for proptest.
     struct Rng(u64);
@@ -526,6 +611,18 @@ mod tests {
         assert!(Poly::one().vars().is_empty());
     }
 
+    #[test]
+    fn terms_are_sorted_and_nonzero() {
+        let mut rng = Rng(20);
+        for _ in 0..64 {
+            let p = small_poly(&mut rng);
+            let ms: Vec<&Monomial> = p.terms().map(|(m, _)| m).collect();
+            assert!(ms.windows(2).all(|w| w[0] < w[1]), "terms out of order: {p}");
+            assert!(p.terms().all(|(_, c)| !c.is_zero()), "zero coeff kept: {p}");
+            assert_eq!(p.flat_terms().len(), p.num_terms());
+        }
+    }
+
     // Random polynomials over 3 variables with small integer coefficients.
     fn small_poly(rng: &mut Rng) -> Poly {
         let n_terms = rng.in_range(0, 6) as usize;
@@ -534,6 +631,21 @@ mod tests {
             let e = rng.in_range(0, 3) as u32;
             let c = rng.in_range(-5, 6);
             (Monomial::from_pairs([(Var(v), e)]), rat(c))
+        }))
+    }
+
+    // Random polynomials that straddle the packed/interned monomial tiers:
+    // up to 3 factors per monomial with exponents past the packed limit.
+    fn mixed_tier_poly(rng: &mut Rng) -> Poly {
+        let n_terms = rng.in_range(0, 5) as usize;
+        Poly::from_terms((0..n_terms).map(|_| {
+            let n_factors = rng.in_range(0, 4) as usize;
+            let m = Monomial::from_pairs((0..n_factors).map(|_| {
+                let v = rng.in_range(0, 4) as u32;
+                let e = rng.in_range(0, 20) as u32;
+                (Var(v), e)
+            }));
+            (m, rat(rng.in_range(-5, 6)))
         }))
     }
 
@@ -602,6 +714,103 @@ mod tests {
         for _ in 0..128 {
             let p = small_poly(&mut rng);
             assert!((&p + &(-p.clone())).is_zero());
+        }
+    }
+
+    /// Reference polynomial semantics on the old `BTreeMap` representation,
+    /// for the differential loop below.
+    #[derive(Debug, PartialEq, Eq)]
+    struct RefPoly(BTreeMap<Monomial, Rat>);
+
+    impl RefPoly {
+        fn of(p: &Poly) -> RefPoly {
+            RefPoly(p.terms().map(|(m, c)| (*m, c.clone())).collect())
+        }
+
+        fn add_term(&mut self, m: Monomial, c: Rat) {
+            if c.is_zero() {
+                return;
+            }
+            let entry = self.0.entry(m).or_insert_with(Rat::zero);
+            *entry += &c;
+            if entry.is_zero() {
+                self.0.remove(&m);
+            }
+        }
+
+        fn add(&self, other: &RefPoly) -> RefPoly {
+            let mut out = RefPoly(self.0.clone());
+            for (m, c) in &other.0 {
+                out.add_term(*m, c.clone());
+            }
+            out
+        }
+
+        fn mul(&self, other: &RefPoly) -> RefPoly {
+            let mut out = RefPoly(BTreeMap::new());
+            for (m1, c1) in &self.0 {
+                for (m2, c2) in &other.0 {
+                    out.add_term(m1.mul(m2), c1 * c2);
+                }
+            }
+            out
+        }
+
+        fn substitute(&self, subst: &dyn Fn(Var) -> Poly) -> RefPoly {
+            let mut acc = RefPoly(BTreeMap::new());
+            for (m, c) in &self.0 {
+                let mut term = RefPoly::of(&Poly::constant(c.clone()));
+                for (v, e) in m.iter() {
+                    let repl = RefPoly::of(&subst(v));
+                    for _ in 0..e {
+                        term = term.mul(&repl);
+                    }
+                }
+                acc = acc.add(&term);
+            }
+            acc
+        }
+    }
+
+    #[test]
+    fn prop_flat_kernels_match_btreemap_reference() {
+        // Differential loop: the flat merge/coalesce kernels must agree with
+        // the old BTreeMap entry-at-a-time semantics — same terms, same
+        // canonical iteration order — including across the packed/interned
+        // monomial tier boundary.
+        let mut rng = Rng(27);
+        for round in 0..96 {
+            let p = mixed_tier_poly(&mut rng);
+            let q = mixed_tier_poly(&mut rng);
+            let (rp, rq) = (RefPoly::of(&p), RefPoly::of(&q));
+
+            let sum = &p + &q;
+            assert_eq!(RefPoly::of(&sum), rp.add(&rq), "add mismatch round {round}");
+            let diff = &p - &q;
+            let sum_back = &diff + &q;
+            assert_eq!(sum_back, p, "sub/add roundtrip mismatch round {round}");
+            let prod = &p * &q;
+            assert_eq!(RefPoly::of(&prod), rp.mul(&rq), "mul mismatch round {round}");
+
+            // Substitution: x -> y + 1, everything else identity.
+            let subst = |v: Var| {
+                if v == Var(0) {
+                    &Poly::var(Var(1)) + &Poly::one()
+                } else {
+                    Poly::var(v)
+                }
+            };
+            assert_eq!(
+                RefPoly::of(&p.substitute(&subst)),
+                rp.substitute(&subst),
+                "substitute mismatch round {round}"
+            );
+
+            // The canonical term sequence is exactly the BTreeMap iteration
+            // order (this is what keeps LP row order and digests stable).
+            let flat: Vec<Monomial> = prod.terms().map(|(m, _)| *m).collect();
+            let tree: Vec<Monomial> = RefPoly::of(&prod).0.into_keys().collect();
+            assert_eq!(flat, tree, "order mismatch round {round}");
         }
     }
 }

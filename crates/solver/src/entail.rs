@@ -128,21 +128,24 @@ impl EntailmentOptions {
 
 /// Builds the list of candidate products of the premises.
 fn products(premises: &[Poly], opts: &EntailmentOptions) -> Vec<Poly> {
+    // Levels are built in place: level `s` occupies `out[level_start..]` and
+    // seeds level `s + 1`, so products are stored once instead of being
+    // cloned from a scratch level vector (the list and its order are
+    // exactly what the two-vector construction produced).
     let mut out: Vec<Poly> = vec![Poly::one()];
-    let mut current: Vec<Poly> = vec![Poly::one()];
+    let mut level_start = 0;
     for _ in 0..opts.max_product_size {
-        let mut next = Vec::new();
-        for base in &current {
+        let level_end = out.len();
+        for base_idx in level_start..level_end {
             for g in premises {
-                let prod = base * g;
+                let prod = &out[base_idx] * g;
                 if prod.total_degree() <= opts.max_product_degree && !prod.is_zero() {
-                    next.push(prod);
+                    out.push(prod);
                 }
             }
         }
-        out.extend(next.iter().cloned());
-        current = next;
-        if current.is_empty() {
+        level_start = level_end;
+        if out.len() == level_end {
             break;
         }
     }
@@ -162,7 +165,10 @@ fn products(premises: &[Poly], opts: &EntailmentOptions) -> Vec<Poly> {
 /// premise set lands on the same key.
 fn structural_key(product_list: &[Poly], monomials: &[Monomial]) -> u64 {
     use std::hash::{Hash, Hasher};
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    // The key material is a flat word stream — packed monomial keys and
+    // small-tier rationals — so FNV's byte-fold loop beats SipHash's block
+    // permutation here, and the workspace digests already standardize on it.
+    let mut hasher = revterm_num::Fnv64::new();
     product_list.hash(&mut hasher);
     monomials.hash(&mut hasher);
     hasher.finish()
@@ -190,20 +196,27 @@ fn combination_witness(
         lp.set_var_kind(Var(j as u32), VarKind::NonNegative);
     }
     // For every monomial occurring anywhere, the coefficients must match.
-    let mut monomials: Vec<Monomial> = target.terms().map(|(m, _)| m.clone()).collect();
+    // Monomials are Copy keys, so collecting the row set copies words.
+    let mut monomials: Vec<Monomial> = target.terms().map(|(m, _)| *m).collect();
     for p in product_list {
-        monomials.extend(p.terms().map(|(m, _)| m.clone()));
+        monomials.extend(p.terms().map(|(m, _)| *m));
     }
     monomials.sort();
     monomials.dedup();
-    for m in &monomials {
-        let mut expr = LinExpr::constant(-target.coefficient(m));
-        for (j, p) in product_list.iter().enumerate() {
-            let c = p.coefficient(m);
-            if !c.is_zero() {
-                expr.add_coeff(Var(j as u32), c);
-            }
+    // Scatter each product's flat term run into its monomial's row instead
+    // of probing every product for every monomial: O(total terms) lookups,
+    // and since column indices arrive in increasing order, every
+    // `add_coeff` is an append.  Row order (sorted monomials) and row
+    // contents are identical to the probe-per-monomial construction.
+    let mut rows: Vec<LinExpr> =
+        monomials.iter().map(|m| LinExpr::constant(-target.coefficient(m))).collect();
+    for (j, p) in product_list.iter().enumerate() {
+        for (m, c) in p.flat_terms() {
+            let i = monomials.binary_search(m).expect("row set covers all product monomials");
+            rows[i].add_coeff(Var(j as u32), c.clone());
         }
+    }
+    for expr in rows {
         lp.add_constraint(expr, Rel::Eq);
     }
     let result = match opts.lp_engine {
@@ -353,7 +366,10 @@ impl EntailmentKey {
 /// owned keys inside are compared structurally).
 fn query_hash(premises: &[Poly], conclusion: Option<&Poly>, opts: &EntailmentOptions) -> u64 {
     use std::hash::{Hash, Hasher};
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    // Hashing a query walks each polynomial's flat term slice and folds
+    // `(packed monomial word, small rational)` runs — no tree traversal, no
+    // clones, no allocation on the packed tiers.
+    let mut hasher = revterm_num::Fnv64::new();
     premises.hash(&mut hasher);
     conclusion.hash(&mut hasher);
     opts.hash(&mut hasher);

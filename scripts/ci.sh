@@ -51,10 +51,13 @@ if $run_bench_smoke; then
     cargo run --release -q -p revterm-bench --bin session_vs_fresh nt_counter_up \
         | tee target/ci-artifacts/bench-smoke.json
 
-    # LP-engine smoke: num_profile with a small microloop runs the three
-    # simplex engines over the same problems and the degree-1 sweep, and
-    # exits non-zero on any digest divergence or a zero warm-start hit rate
-    # — the revised-simplex acceptance criteria, re-proved on every CI run.
+    # LP-engine + poly-kernel smoke: num_profile with a small microloop runs
+    # the three simplex engines over the same problems, the flat polynomial
+    # kernels against a BTreeMap reference, the packed-monomial cache-key
+    # hashing loop under a counting allocator, and the degree-1 sweep. It
+    # exits non-zero on any digest divergence, any heap allocation on the
+    # packed hashing path, or a zero warm-start hit rate — the revised-simplex
+    # and packed-monomial acceptance criteria, re-proved on every CI run.
     echo "==> bench smoke (num_profile 30)"
     cargo run --release -q -p revterm-bench --bin num_profile 30 \
         | tee target/ci-artifacts/num-profile.json
