@@ -25,7 +25,6 @@
 //! All four are sound; their verdicts are cross-checked against the suite's
 //! ground truth in the integration tests.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use revterm_invgen::{synthesize_invariant, SampleSet, SynthesisOptions, TemplateParams};

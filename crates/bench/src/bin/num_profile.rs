@@ -24,7 +24,12 @@
 //!   calls through each of the three LP engines, and a warm
 //!   [`revterm::ProverSession`] (mirroring `session_vs_fresh`) whose
 //!   revised-simplex warm-start counters are reported alongside the
-//!   timings.
+//!   timings.  The same sessioned sweep then runs again with the
+//!   abstract-interpretation machinery disabled (`absint: false` plus
+//!   `interval_fast_path: false`): the on/off verdict digests must match
+//!   (absint is sound pruning only), the on-sweep must report a nonzero
+//!   fast-path/prune count (the machinery actually engaged), and the
+//!   fixpoint analysis itself is timed as `absint_analyze_secs`.
 //!
 //! Every workload folds its results into an FNV-1a digest. The digests are
 //! pure functions of the computed values, so two runs (or two engines, or
@@ -60,6 +65,9 @@ struct CountingAlloc;
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: defers every operation to `System`; the counter is a side effect.
+// The workspace denies `unsafe_code`; `GlobalAlloc` is the one sanctioned
+// exception (there is no safe way to install an allocator wrapper).
+#[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
@@ -219,8 +227,7 @@ fn run_microloop(
 fn main() {
     let lp_iters: usize = std::env::args()
         .nth(1)
-        .map(|s| s.parse().expect("lp_iters must be a non-negative integer"))
-        .unwrap_or(120);
+        .map_or(120, |s| s.parse().expect("lp_iters must be a non-negative integer"));
 
     // --- LP-heavy microloop -------------------------------------------------
     // Two deterministic problem families, fixed up front so only the solving
@@ -388,7 +395,7 @@ fn main() {
     let (sparse, sweep_sparse_secs) = sweep_with(&engine_configs(LpEngine::SparseTableau));
     let (dense, sweep_dense_secs) = sweep_with(&engine_configs(LpEngine::Dense));
 
-    let mut session = ProverSession::new(ts);
+    let mut session = ProverSession::new(ts.clone());
     let session_start = Instant::now();
     let report = session.sweep(&configs, usize::MAX);
     let sweep_session_secs = session_start.elapsed().as_secs_f64();
@@ -399,6 +406,36 @@ fn main() {
     } else {
         lp_stats.warm_hits as f64 / lp_stats.warm_lookups as f64
     };
+
+    // The abstract-interpretation pre-analysis: time the fixpoint itself,
+    // then run the same sessioned sweep with the whole absint machinery off
+    // (pre-analysis prunes and interval entailment fast paths).  The absint
+    // contract is sound-pruning-only, so the on/off verdicts must be
+    // identical; the counters below are how `ci.sh` checks the machinery
+    // actually engaged on the running example.
+    let absint_start = Instant::now();
+    let absint_state = revterm_absint::analyze(&ts);
+    let absint_analyze_secs = absint_start.elapsed().as_secs_f64();
+    std::hint::black_box(absint_state.is_reachable(ts.init_loc()));
+    let absint_fast_paths = lp_stats.absint_fast_paths;
+    let absint_prunes = session.stats().aggregate.absint_prunes;
+    let off_configs: Vec<_> = configs
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.absint = false;
+            c.entailment.interval_fast_path = false;
+            c
+        })
+        .collect();
+    let mut off_session = ProverSession::new(ts);
+    let off_start = Instant::now();
+    let off_report = off_session.sweep(&off_configs, usize::MAX);
+    let sweep_absint_off_secs = off_start.elapsed().as_secs_f64();
+    let absint_off: Vec<bool> = off_report.outcomes.iter().map(|o| o.proved).collect();
+    let off_lp_stats = off_session.stats().aggregate.lp;
+    let absint_off_clean =
+        off_lp_stats.absint_fast_paths == 0 && off_session.stats().aggregate.absint_prunes == 0;
 
     let digest_of = |verdicts: &[bool]| {
         let mut d = Fnv64::new();
@@ -413,9 +450,11 @@ fn main() {
     let verdict_digests_match =
         verdict_digest == verdict_sparse_digest && verdict_digest == verdict_dense_digest;
     let verdicts_match = fresh == sessioned;
+    let verdict_absint_off_digest = digest_of(&absint_off);
+    let absint_verdicts_match = verdict_absint_off_digest == verdict_digest;
 
     println!(
-        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_sparse_secs\":{:.3},\"lp_sparse_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"poly_mul_secs\":{:.3},\"poly_mul_digest\":\"{:016x}\",\"poly_digests_match\":{},\"poly_hash_secs\":{:.3},\"poly_hash_allocs\":{},\"interned_monomials\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_sparse_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"session_lp_solves\":{},\"session_lp_pivots\":{},\"session_lp_refactorizations\":{},\"session_warm_lookups\":{},\"session_warm_hits\":{},\"session_warm_hit_rate\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_sparse_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{}}}",
+        "{{\"lp_problems\":{},\"lp_feasible\":{},\"lp_secs\":{:.3},\"lp_digest\":\"{:016x}\",\"lp_sparse_secs\":{:.3},\"lp_sparse_digest\":\"{:016x}\",\"lp_dense_secs\":{:.3},\"lp_dense_digest\":\"{:016x}\",\"lp_digests_match\":{},\"poly_mul_secs\":{:.3},\"poly_mul_digest\":\"{:016x}\",\"poly_digests_match\":{},\"poly_hash_secs\":{:.3},\"poly_hash_allocs\":{},\"interned_monomials\":{},\"sweep_benchmark\":\"{}\",\"sweep_configs\":{},\"sweep_fresh_secs\":{:.3},\"sweep_sparse_secs\":{:.3},\"sweep_dense_secs\":{:.3},\"sweep_session_secs\":{:.3},\"session_lp_solves\":{},\"session_lp_pivots\":{},\"session_lp_refactorizations\":{},\"session_warm_lookups\":{},\"session_warm_hits\":{},\"session_warm_hit_rate\":{:.3},\"absint_analyze_secs\":{:.6},\"absint_fast_paths\":{},\"absint_prunes\":{},\"sweep_absint_off_secs\":{:.3},\"verdict_digest\":\"{:016x}\",\"verdict_sparse_digest\":\"{:016x}\",\"verdict_dense_digest\":\"{:016x}\",\"verdict_absint_off_digest\":\"{:016x}\",\"verdict_digests_match\":{},\"verdicts_match\":{},\"absint_verdicts_match\":{}}}",
         problems.len() + queries.len(),
         feasible,
         lp_secs,
@@ -443,11 +482,17 @@ fn main() {
         lp_stats.warm_lookups,
         lp_stats.warm_hits,
         warm_hit_rate,
+        absint_analyze_secs,
+        absint_fast_paths,
+        absint_prunes,
+        sweep_absint_off_secs,
         verdict_digest,
         verdict_sparse_digest,
         verdict_dense_digest,
+        verdict_absint_off_digest,
         verdict_digests_match,
         verdicts_match,
+        absint_verdicts_match,
     );
 
     let mut failed = false;
@@ -475,6 +520,18 @@ fn main() {
     }
     if lp_stats.warm_hits == 0 {
         eprintln!("FAIL: the sessioned sweep never hit the warm-start basis cache");
+        failed = true;
+    }
+    if !absint_verdicts_match {
+        eprintln!("FAIL: absint-off sweep verdicts diverged from the default sweep");
+        failed = true;
+    }
+    if absint_fast_paths + absint_prunes == 0 {
+        eprintln!("FAIL: the absint machinery never engaged on the running-example sweep");
+        failed = true;
+    }
+    if !absint_off_clean {
+        eprintln!("FAIL: the absint-off sweep still took absint paths");
         failed = true;
     }
     if failed {

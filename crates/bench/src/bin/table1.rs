@@ -30,7 +30,7 @@ fn main() {
 
     let columns = vec![
         revterm_column(&revterm_runs, &[ultimate_nos.clone(), verymax_nos.clone()]),
-        baseline_column("Ultimate*", &ultimate_runs, &[revterm_nos.clone(), verymax_nos.clone()]),
+        baseline_column("Ultimate*", &ultimate_runs, &[revterm_nos.clone(), verymax_nos]),
         baseline_column("VeryMax*", &verymax_runs, &[revterm_nos, ultimate_nos]),
     ];
     print_tool_table("Table 1: RevTerm vs Ultimate* vs VeryMax*", &columns);

@@ -87,8 +87,6 @@
 //! | `lp_warm_lookups` | solves that consulted the session [`revterm_solver::BasisCache`] |
 //! | `lp_warm_hits` | of those, resumed from a stored optimal basis |
 
-#![forbid(unsafe_code)]
-
 use revterm::{ProverConfig, SweepReport};
 use revterm_baselines::{BaselineProver, BaselineVerdict, RankingProver};
 use revterm_suite::{Benchmark, Expected};
@@ -226,7 +224,7 @@ pub fn revterm_column(runs: &[RevTermRun], no_sets: &[Vec<String>]) -> ToolColum
     let proved: Vec<&RevTermRun> = runs.iter().filter(|r| r.report.proved()).collect();
     let times: Vec<f64> = proved
         .iter()
-        .map(|r| r.report.fastest_success().map(|o| o.elapsed.as_secs_f64()).unwrap_or(0.0))
+        .map(|r| r.report.fastest_success().map_or(0.0, |o| o.elapsed.as_secs_f64()))
         .collect();
     let (avg, std) = mean_std(&times);
     let mine: Vec<String> = proved.iter().map(|r| r.name.clone()).collect();

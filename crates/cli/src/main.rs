@@ -5,19 +5,54 @@
 //! revterm --source '<program>'    prove non-termination of an inline program
 //! revterm --suite                 run the prover on the embedded benchmark suite
 //! revterm --list                  list the embedded benchmarks
+//! revterm analyze <program.rt>    print the interval/sign pre-analysis
 //! ```
 //!
-//! Options: `--check1` / `--check2` (default: try both), `--show-ts` prints
-//! the transition system and its reversal before proving, `--stats` prints
-//! the per-run statistics of the prover session.
+//! The default mode (also reachable as the explicit `prove` subcommand)
+//! proves non-termination.  Options: `--check1` / `--check2` (default: try
+//! both), `--show-ts` prints the transition system and its reversal before
+//! proving, `--stats` prints the per-run statistics of the prover session,
+//! and `--no-absint` disables the abstract-interpretation pre-analysis plus
+//! the interval entailment fast path (results are bitwise identical; the
+//! flag exists for benchmarking and differential testing).
+//!
+//! The `analyze` subcommand runs only the pre-analysis and prints its facts:
+//! per-location variable intervals, unreachable locations, unused variables,
+//! constant variables, and guards the analysis decides statically.
 
 use revterm::{CheckKind, ProofResult, ProverConfig, ProverSession};
 use revterm_lang::parse_program;
-use revterm_ts::{lower, Assertion};
+use revterm_ts::{lower, Assertion, TransitionSystem};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: revterm [--check1|--check2] [--show-ts] [--stats] (<file> | --source <program> | --suite | --list)";
+const USAGE: &str = "usage: revterm [--check1|--check2] [--show-ts] [--stats] [--no-absint] \
+     (<file> | --source <program> | --suite | --list)\n       \
+     revterm analyze (<file> | --source <program>)";
+
+/// All subcommands, with one-line descriptions (the first is the default).
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    ("prove", "prove non-termination (the default when no subcommand is given)"),
+    ("analyze", "print the interval/sign pre-analysis of a program"),
+];
+
+fn subcommand_names() -> String {
+    SUBCOMMANDS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+}
+
+fn long_help() -> String {
+    let mut help = format!("{USAGE}\n\nsubcommands:\n");
+    for (name, desc) in SUBCOMMANDS {
+        help.push_str(&format!("  {name:<10} {desc}\n"));
+    }
+    help.push_str("\noptions:\n");
+    help.push_str("  --check1 | --check2   run only the given check (default: try both)\n");
+    help.push_str("  --show-ts             print the transition system and its reversal\n");
+    help.push_str("  --stats               print per-run prover statistics\n");
+    help.push_str("  --no-absint           disable the abstract-interpretation pre-analysis and\n");
+    help.push_str("                        the interval entailment fast path (results are\n");
+    help.push_str("                        identical; for benchmarking and differential testing)");
+    help
+}
 
 /// Bad invocation: usage goes to stderr and the exit code signals an error.
 fn usage_error() -> ExitCode {
@@ -28,24 +63,117 @@ fn usage_error() -> ExitCode {
 fn print_stats(result: &ProofResult) {
     let s = &result.stats;
     println!(
-        "stats: {} candidates, {} synthesis calls, {} entailment calls ({} cached), {} artifact / {} probe cache hits",
+        "stats: {} candidates, {} synthesis calls, {} entailment calls ({} cached), {} artifact / {} probe cache hits, {} absint fast paths, {} absint prunes",
         s.candidates_tried,
         s.synthesis_calls,
         s.entailment_calls,
         s.entailment_cache_hits,
         s.artifact_cache_hits,
         s.probe_cache_hits,
+        s.lp.absint_fast_paths,
+        s.absint_prunes,
     );
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Parses and lowers a program given as a file path or inline source,
+/// reporting errors on stderr.
+fn load_system(src: &str) -> Result<TransitionSystem, ExitCode> {
+    let program = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    match lower(&program) {
+        Ok(ts) => Ok(ts),
+        Err(e) => {
+            eprintln!("error: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// The `analyze` subcommand: run the interval/sign pre-analysis and print
+/// the per-location envelopes plus the derived diagnostics.
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut source: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--source" => match iter.next() {
+                Some(src) => source = Some(src.clone()),
+                None => return usage_error(),
+            },
+            "--help" | "-h" => {
+                println!("{}", long_help());
+                return ExitCode::SUCCESS;
+            }
+            path => match std::fs::read_to_string(path) {
+                Ok(text) => source = Some(text),
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+    let Some(src) = source else { return usage_error() };
+    let ts = match load_system(&src) {
+        Ok(ts) => ts,
+        Err(code) => return code,
+    };
+    let state = revterm_absint::analyze(&ts);
+    let names = ts.vars().names();
+
+    println!("pre-analysis: {} locations, {} variables", ts.num_locs(), names.len());
+    for loc in ts.locations() {
+        match state.env(loc) {
+            None => println!("  {:<8} unreachable", ts.loc_name(loc)),
+            Some(env) => {
+                let bounds: Vec<String> =
+                    env.iter().enumerate().map(|(i, iv)| format!("{} in {iv}", names[i])).collect();
+                println!("  {:<8} {}", ts.loc_name(loc), bounds.join(", "));
+            }
+        }
+    }
+
+    let diag = revterm_absint::diagnostics(&ts, &state);
+    if !diag.unreachable_locs.is_empty() {
+        let locs: Vec<&str> = diag.unreachable_locs.iter().map(|&l| ts.loc_name(l)).collect();
+        println!("unreachable locations: {}", locs.join(", "));
+    }
+    if !diag.unused_vars.is_empty() {
+        let vars: Vec<&str> = diag.unused_vars.iter().map(|&i| names[i].as_str()).collect();
+        println!("unused variables: {}", vars.join(", "));
+    }
+    if !diag.constant_vars.is_empty() {
+        let consts: Vec<String> =
+            diag.constant_vars.iter().map(|(i, v)| format!("{} = {v}", names[*i])).collect();
+        println!("constant variables: {}", consts.join(", "));
+    }
+    if !diag.constant_guards.is_empty() {
+        let guards: Vec<String> = diag
+            .constant_guards
+            .iter()
+            .map(|(id, fires)| {
+                format!("t{id} {}", if *fires { "always fires" } else { "never fires" })
+            })
+            .collect();
+        println!("decided guards: {}", guards.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+/// The default `prove` mode (everything the tool did before subcommands).
+fn run_prove(args: Vec<String>) -> ExitCode {
     if args.is_empty() {
         return usage_error();
     }
     let mut check: Option<CheckKind> = None;
     let mut show_ts = false;
     let mut show_stats = false;
+    let mut no_absint = false;
     let mut source: Option<String> = None;
     let mut run_suite = false;
     let mut list = false;
@@ -56,6 +184,7 @@ fn main() -> ExitCode {
             "--check2" => check = Some(CheckKind::Check2),
             "--show-ts" => show_ts = true,
             "--stats" => show_stats = true,
+            "--no-absint" => no_absint = true,
             "--suite" => run_suite = true,
             "--list" => list = true,
             "--source" => match iter.next() {
@@ -64,13 +193,18 @@ fn main() -> ExitCode {
             },
             // Asking for help is not an error: print usage to stdout, exit 0.
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", long_help());
                 return ExitCode::SUCCESS;
             }
             path => match std::fs::read_to_string(path) {
                 Ok(text) => source = Some(text),
                 Err(e) => {
                     eprintln!("error: cannot read {path}: {e}");
+                    eprintln!(
+                        "('{path}' is not a subcommand either; subcommands: {})",
+                        subcommand_names()
+                    );
+                    eprintln!("{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -84,10 +218,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let configs: Vec<ProverConfig> = match check {
+    let mut configs: Vec<ProverConfig> = match check {
         Some(kind) => vec![ProverConfig::builder().check(kind).build()],
         None => revterm::quick_sweep(),
     };
+    if no_absint {
+        for config in &mut configs {
+            config.absint = false;
+            config.entailment.interval_fast_path = false;
+        }
+    }
 
     if run_suite {
         let mut proved = 0;
@@ -113,19 +253,9 @@ fn main() -> ExitCode {
     }
 
     let Some(src) = source else { return usage_error() };
-    let program = match parse_program(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let ts = match lower(&program) {
+    let ts = match load_system(&src) {
         Ok(ts) => ts,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
+        Err(code) => return code,
     };
     if show_ts {
         println!("--- transition system ---\n{}", ts.display());
@@ -152,5 +282,20 @@ fn main() -> ExitCode {
             println!("MAYBE (no non-termination proof found) in {:.2?}", result.elapsed);
             ExitCode::from(1)
         }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage_error();
+    }
+    match args[0].as_str() {
+        "analyze" => run_analyze(&args[1..]),
+        "prove" => {
+            args.remove(0);
+            run_prove(args)
+        }
+        _ => run_prove(args),
     }
 }

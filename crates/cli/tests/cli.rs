@@ -1,0 +1,75 @@
+//! End-to-end tests of the `revterm` binary: subcommand dispatch, the
+//! `analyze` output, the unknown-subcommand error, and `--no-absint`.
+
+use std::process::{Command, Output};
+
+fn revterm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_revterm")).args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn analyze_prints_intervals_and_diagnostics() {
+    let out = revterm(&["analyze", "--source", "x := 5; while x >= 0 do x := x + 1; od"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("pre-analysis:"), "missing header: {text}");
+    assert!(text.contains("x in [5, +inf)"), "missing interval: {text}");
+    assert!(text.contains("unreachable locations: out"), "missing unreachable: {text}");
+    assert!(text.contains("never fires"), "missing decided guard: {text}");
+}
+
+#[test]
+fn analyze_reports_constant_variables() {
+    let out = revterm(&["analyze", "--source", "c := 3; while x >= 1 do x := x - c; od"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("constant variables: c = 3"), "got: {}", stdout(&out));
+}
+
+#[test]
+fn unknown_subcommand_error_lists_all_subcommands() {
+    // Regression: a bare token that is neither a readable file nor a known
+    // subcommand must fail with an error that names every subcommand, so
+    // typos are diagnosable.
+    let out = revterm(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("frobnicate"), "error must echo the token: {err}");
+    assert!(err.contains("prove"), "error must list the prove subcommand: {err}");
+    assert!(err.contains("analyze"), "error must list the analyze subcommand: {err}");
+    assert!(err.contains("usage:"), "error must include the usage line: {err}");
+}
+
+#[test]
+fn help_documents_analyze_and_no_absint() {
+    let out = revterm(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("analyze"), "help must mention analyze: {text}");
+    assert!(text.contains("--no-absint"), "help must mention --no-absint: {text}");
+    assert!(text.contains("subcommands:"), "help must have a subcommand section: {text}");
+}
+
+#[test]
+fn prove_subcommand_and_no_absint_agree_with_the_default_mode() {
+    let src = "while x >= 0 do x := x + 1; od";
+    let default_mode = revterm(&["--check1", "--source", src]);
+    let explicit = revterm(&["prove", "--check1", "--source", src]);
+    let no_absint = revterm(&["--check1", "--no-absint", "--source", src]);
+    for (name, out) in [("default", &default_mode), ("prove", &explicit), ("no-absint", &no_absint)]
+    {
+        assert!(out.status.success(), "{name} failed: {}", stderr(out));
+        assert!(
+            stdout(out).contains("NO (non-terminating)"),
+            "{name} verdict wrong: {}",
+            stdout(out)
+        );
+    }
+}

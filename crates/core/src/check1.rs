@@ -156,7 +156,7 @@ pub(crate) fn check1_cached(
                 },
             );
             let reached_terminal =
-                trace.last().map(|c| c.loc == restricted_system.terminal_loc()).unwrap_or(false);
+                trace.last().is_some_and(|c| c.loc == restricted_system.terminal_loc());
             if reached_terminal || trace.len() <= config.divergence_probe_steps / 2 {
                 continue;
             }
@@ -200,6 +200,14 @@ pub(crate) fn check1_cached(
             .clone();
 
             // Success condition: every transition into ℓ_out is blocked.
+            // A closure contradiction is a Farkas derivation of `-1 ≥ 0`
+            // over the individual premises, which is a feasible point of the
+            // `implies_false` LP whenever its product budget admits
+            // single-premise columns — so the fast path below can only skip
+            // the LP, never disagree with it.
+            let fast = config.entailment.interval_fast_path
+                && config.entailment.max_product_size >= 1
+                && config.entailment.max_product_degree >= 1;
             let blocked = restricted_system
                 .transitions_to(restricted_system.terminal_loc())
                 .filter(|t| t.source != restricted_system.terminal_loc())
@@ -207,6 +215,12 @@ pub(crate) fn check1_cached(
                     invariant.at(t.source).disjuncts().iter().all(|d| {
                         let mut premises: Vec<Poly> = d.atoms().to_vec();
                         premises.extend(t.relation.atoms().iter().cloned());
+                        if fast
+                            && revterm_absint::close_premises(premises.iter()).is_contradiction()
+                        {
+                            lp_basis.stats.absint_fast_paths += 1;
+                            return true;
+                        }
                         let premises: Arc<[Poly]> = premises.into();
                         entail.implies_false(&premises, &config.entailment, lp_basis)
                     })

@@ -114,6 +114,20 @@ pub(crate) fn check2_cached(
             &mut stats.probe_cache_hits,
             &mut stats.probe_cache_misses,
             || {
+                // Pre-analysis prune: the probes below replay configurations
+                // of the *unrestricted* system through the restricted one, so
+                // seed the interval fixpoint with those very configurations.
+                // If even the abstract envelope cannot reach ℓ_out, no probe
+                // can terminate, and the result it would compute is exactly
+                // the empty one memoized here.
+                if config.absint {
+                    let state =
+                        revterm_absint::analyze_from(restricted_system, fwd.iter().take(400));
+                    if state.terminal_unreachable(restricted_system) {
+                        stats.absint_prunes += 1;
+                        return (false, SampleSet::new());
+                    }
+                }
                 let mut samples = SampleSet::new();
                 let mut any_terminating = false;
                 for cfg in fwd.iter().take(400) {
@@ -124,11 +138,7 @@ pub(crate) fn check2_cached(
                         &|_, _| revterm_num::Int::zero(),
                         config.divergence_probe_steps,
                     );
-                    if trace
-                        .last()
-                        .map(|c| c.loc == restricted_system.terminal_loc())
-                        .unwrap_or(false)
-                    {
+                    if trace.last().is_some_and(|c| c.loc == restricted_system.terminal_loc()) {
                         any_terminating = true;
                         for visited in trace {
                             samples.add(visited.loc, visited.vals);

@@ -77,6 +77,15 @@ pub struct ProverConfig {
     /// Number of interpreter steps used to classify a run as "apparently
     /// diverging" before attempting invariant synthesis.
     pub divergence_probe_steps: usize,
+    /// Run the abstract-interpretation pre-analysis (`revterm_absint`) to
+    /// skip probe batches whose outcome it proves.  Sound pruning only:
+    /// verdicts, certificates and digests are bitwise identical with the
+    /// pre-analysis off — this knob exists for differential testing and
+    /// benchmarking (`--no-absint` in the CLI), and is deliberately not part
+    /// of [`ProverConfig::label`].  The sibling entailment fast path is
+    /// toggled separately via
+    /// `EntailmentOptions::interval_fast_path`.
+    pub absint: bool,
 }
 
 impl Default for ProverConfig {
@@ -91,6 +100,7 @@ impl Default for ProverConfig {
             max_resolutions: 24,
             max_initial_configs: 6,
             divergence_probe_steps: 120,
+            absint: true,
         }
     }
 }
@@ -210,6 +220,17 @@ impl ProverConfigBuilder {
         self
     }
 
+    /// Toggles the abstract-interpretation pre-analysis *and* the interval
+    /// entailment fast path together (the two halves of the `absint`
+    /// machinery; see [`ProverConfig::absint`]).  Results are bitwise
+    /// identical either way — `false` is for differential testing and
+    /// benchmarking.
+    pub fn absint(mut self, on: bool) -> Self {
+        self.config.absint = on;
+        self.config.entailment.interval_fast_path = on;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> ProverConfig {
         self.config
@@ -243,6 +264,17 @@ mod tests {
         assert_eq!(built.search, default.search);
         assert_eq!(built.entailment, default.entailment);
         assert_eq!(ProverConfigBuilder::new().build().label(), default.label());
+    }
+
+    #[test]
+    fn absint_toggle_flips_both_knobs() {
+        let on = ProverConfig::default();
+        assert!(on.absint && on.entailment.interval_fast_path);
+        let off = ProverConfig::builder().absint(false).build();
+        assert!(!off.absint && !off.entailment.interval_fast_path);
+        // Deliberately not part of the label: results are identical either
+        // way, so the knob must not split sweep reports into new cells.
+        assert_eq!(off.label(), on.label());
     }
 
     #[test]

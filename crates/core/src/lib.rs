@@ -7,6 +7,8 @@
 //! * [`revterm_lang`] — the input language,
 //! * [`revterm_ts`] — transition systems, reversal, resolutions of
 //!   non-determinism,
+//! * [`revterm_absint`] — the interval/sign abstract-interpretation
+//!   pre-analysis (sound pruning and the `revterm analyze` facts),
 //! * [`revterm_invgen`] — template-based inductive invariant generation,
 //! * [`revterm_solver`] — the exact Farkas/Handelman entailment oracle,
 //! * [`revterm_safety`] — the bounded safety (reachability) prover.
@@ -72,7 +74,6 @@
 //! the basis of an unchecked synthesis result.  Certificate validation never
 //! goes through the session caches.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod certificate;
@@ -91,5 +92,6 @@ pub use check1::check1;
 pub use check2::check2;
 pub use config::{CheckKind, ProverConfig, ProverConfigBuilder, Strategy};
 pub use prover::{prove, prove_program, prove_with_configs, ProofResult, Verdict};
+pub use revterm_absint::{AbstractState, Diagnostics};
 pub use session::{ProveStats, ProverSession, SessionStats, NO_CONFIGS_LABEL};
 pub use sweep::{default_sweep, degree1_sweep, quick_sweep, sweep, ConfigOutcome, SweepReport};

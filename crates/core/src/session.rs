@@ -61,6 +61,11 @@ pub struct ProveStats {
     pub artifact_cache_hits: u64,
     /// Derived artifacts that had to be computed.
     pub artifact_cache_misses: u64,
+    /// Probe batches skipped because the abstract-interpretation
+    /// pre-analysis proved their outcome (Check 2 backward probes whose
+    /// terminal location is provably unreachable).  The memoized result is
+    /// bitwise identical to what the probes would have produced.
+    pub absint_prunes: u64,
     /// LP engine counters (solves, pivots, warm-start hits) for the queries
     /// this call routed through the session's basis cache.
     pub lp: LpStats,
@@ -77,6 +82,7 @@ impl ProveStats {
         self.probe_cache_misses += other.probe_cache_misses;
         self.artifact_cache_hits += other.artifact_cache_hits;
         self.artifact_cache_misses += other.artifact_cache_misses;
+        self.absint_prunes += other.absint_prunes;
         self.lp.accumulate(&other.lp);
     }
 
@@ -218,6 +224,9 @@ pub(crate) struct Caches {
     >,
     /// Restricted systems and their per-resolution artifacts.
     pub restricted: HashMap<Resolution, RestrictedEntry>,
+    /// The interval/sign pre-analysis of the base system, computed on first
+    /// use (see [`ProverSession::abstract_state`]).
+    pub absint: Option<revterm_absint::AbstractState>,
 }
 
 impl Caches {
@@ -307,6 +316,18 @@ impl ProverSession {
     /// Running counter totals across every `prove` call of this session.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// The interval/sign abstract interpretation of this session's system,
+    /// computed on first call and cached for the session's lifetime (the
+    /// system is immutable, so the fixpoint never needs recomputing).
+    ///
+    /// This is the session-level entry point to the pre-analysis facts —
+    /// per-location envelopes, reachability, constancy — that the
+    /// `revterm analyze` subcommand renders; the prover itself consults the
+    /// same machinery internally for sound pruning only.
+    pub fn abstract_state(&mut self) -> &revterm_absint::AbstractState {
+        self.caches.absint.get_or_insert_with(|| revterm_absint::analyze(&self.ts))
     }
 
     /// Statistics of the monomial interning pool, surfaced next to the

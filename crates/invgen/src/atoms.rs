@@ -64,7 +64,7 @@ impl SampleSet {
 
     /// The samples recorded at a location.
     pub fn at(&self, loc: Loc) -> &[Valuation] {
-        self.samples.get(&loc).map(|v| v.as_slice()).unwrap_or(&[])
+        self.samples.get(&loc).map_or(&[], |v| v.as_slice())
     }
 
     /// Total number of samples.

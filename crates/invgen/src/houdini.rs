@@ -2,6 +2,7 @@
 
 use crate::atoms::{candidate_atoms_cached, PoolCache, SampleSet, TemplateParams};
 use crate::verify::{is_inductive, predicate_entails};
+use revterm_absint::{close_premises, PremiseClosure};
 use revterm_poly::Poly;
 use revterm_solver::{BasisCache, EntailmentCache, EntailmentOptions};
 use revterm_ts::{Assertion, Loc, PredicateMap, PropPredicate, TransitionSystem};
@@ -94,11 +95,28 @@ pub fn synthesize_invariant_cached(
         })
         .collect();
 
+    // Interval fast path: a "yes" from the premise closure is always a
+    // nonnegative combination of single premises, which the multiplier LP
+    // (products of size >= 1, degree >= 1) can express, so skipping the LP
+    // cannot flip an answer.  Guard on the budget so the argument holds.
+    let fast = options.entailment.interval_fast_path
+        && options.entailment.max_product_size >= 1
+        && options.entailment.max_product_degree >= 1;
+
     // Initiation pruning: atoms at ℓ_init must follow from Θ_init.
     if options.require_initiation {
         let theta: Arc<[Poly]> = ts.init_assertion().atoms().to_vec().into();
+        let theta_closure = if fast { Some(close_premises(theta.iter())) } else { None };
         let init = ts.init_loc();
         atom_sets[init.0].retain(|atom| {
+            // A closure contradiction is a Farkas proof of `-1 >= 0`, so the
+            // `implies_false` disjunct below is already known to hold.
+            if let Some(cl) = &theta_closure {
+                if cl.entails(atom) || cl.is_contradiction() {
+                    lp_basis.stats.absint_fast_paths += 1;
+                    return true;
+                }
+            }
             entail.entails(&theta, atom, &options.entailment, lp_basis)
                 || entail.implies_false(&theta, &options.entailment, lp_basis)
         });
@@ -131,6 +149,18 @@ pub fn synthesize_invariant_cached(
             // LP basis cache keys on the premise structure, so every atom of
             // this transition after the first warm-starts its LP.
             let premises: Arc<[Poly]> = premise_vec.into();
+            // One interval closure per transition per sweep serves the whole
+            // atom batch of this target.
+            let closure = if fast { Some(close_premises(premises.iter())) } else { None };
+            // A closure contradiction is a Farkas proof that the premises are
+            // unsatisfiable, so this transition can never force a drop: with
+            // the unsat fallback every obligation answers true, and without
+            // it the `implies_false` veto below would fire (its LP is
+            // feasible by the very same derivation).  Skip the batch.
+            if closure.as_ref().is_some_and(PremiseClosure::is_contradiction) {
+                lp_basis.stats.absint_fast_paths += 1;
+                continue;
+            }
             // If the premises are unsatisfiable nothing needs to be dropped.
             let target = t.target.0;
             let before = atom_sets[target].len();
@@ -138,13 +168,19 @@ pub fn synthesize_invariant_cached(
                 .iter()
                 .enumerate()
                 .filter(|(_, primed)| {
-                    premises.contains(primed)
-                        || entail.entails(
-                            &premises,
-                            primed,
-                            &adaptive(&premises, primed, &options.entailment),
-                            lp_basis,
-                        )
+                    if premises.contains(primed) {
+                        return true;
+                    }
+                    if closure.as_ref().is_some_and(|cl| cl.entails(primed)) {
+                        lp_basis.stats.absint_fast_paths += 1;
+                        return true;
+                    }
+                    entail.entails(
+                        &premises,
+                        primed,
+                        &adaptive(&premises, primed, &options.entailment),
+                        lp_basis,
+                    )
                 })
                 .map(|(i, _)| i)
                 .collect();

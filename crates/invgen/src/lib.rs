@@ -24,7 +24,6 @@
 //! Everything is exact: a predicate map returned by this crate is inductive
 //! by construction *and* by verification.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atoms;

@@ -228,7 +228,7 @@ mod tests {
         let mut bad = map.clone();
         bad.set(
             Loc(ts.init_loc().0),
-            PropPredicate::from_assertion(Assertion::ge_zero(n.clone() - Poly::one())),
+            PropPredicate::from_assertion(Assertion::ge_zero(n - Poly::one())),
         );
         assert!(!initiation_holds(&ts, &bad, &opts));
     }

@@ -31,7 +31,6 @@
 //! assert_eq!(program.variables(), vec!["x".to_string(), "y".to_string()]);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ast;

@@ -36,7 +36,7 @@ impl<'a> Parser<'a> {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map(|t| t.line).unwrap_or(0)
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(0, |t| t.line)
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -297,7 +297,7 @@ impl<'a> Parser<'a> {
             }
             other => Err(ParseError {
                 message: format!("expected an expression, found {:?}", other),
-                line: self.tokens.get(self.pos.saturating_sub(1)).map(|t| t.line).unwrap_or(0),
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
             }),
         }
     }

@@ -994,7 +994,7 @@ mod tests {
         let b = big("987654321987654321");
         assert_eq!((&a * &b).to_string(), "121932631356500531347203169112635269");
         assert_eq!(&a * Int::zero(), Int::zero());
-        assert_eq!((-a.clone()) * b.clone(), -big("121932631356500531347203169112635269"));
+        assert_eq!((-a) * b, -big("121932631356500531347203169112635269"));
     }
 
     #[test]

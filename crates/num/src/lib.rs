@@ -72,7 +72,6 @@
 //! assert_eq!((&half + &third).to_string(), "5/6");
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod fnv;

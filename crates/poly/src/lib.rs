@@ -51,7 +51,6 @@
 //! assert_eq!(val, rat(49));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod linexpr;

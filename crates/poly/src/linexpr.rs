@@ -68,13 +68,23 @@ impl LinExpr {
                     self.coeffs.remove(i);
                 }
             }
-            Err(i) => self.coeffs.insert(i, (v, c)),
+            Err(i) => {
+                debug_assert!(
+                    i == 0 || self.coeffs[i - 1].0 < v,
+                    "linexpr insertion breaks variable order"
+                );
+                debug_assert!(
+                    i == self.coeffs.len() || v < self.coeffs[i].0,
+                    "linexpr insertion breaks variable order"
+                );
+                self.coeffs.insert(i, (v, c));
+            }
         }
     }
 
     /// Adds `c` to the constant part.
-    pub fn add_constant(&mut self, c: Rat) {
-        self.constant += &c;
+    pub fn add_constant(&mut self, c: &Rat) {
+        self.constant += c;
     }
 
     /// The coefficient of `v` (zero if absent).
@@ -165,7 +175,7 @@ impl<'b> Add<&'b LinExpr> for &LinExpr {
     type Output = LinExpr;
     fn add(self, rhs: &'b LinExpr) -> LinExpr {
         let mut out = self.clone();
-        out.add_constant(rhs.constant.clone());
+        out.add_constant(&rhs.constant);
         for (v, c) in &rhs.coeffs {
             out.add_coeff(*v, c.clone());
         }

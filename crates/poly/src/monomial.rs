@@ -261,7 +261,7 @@ impl Monomial {
 
     /// Exponent of a variable (zero if absent).
     pub fn exponent(&self, v: Var) -> u32 {
-        self.with_factors(|fs| fs.iter().find(|&&(w, _)| w == v).map(|&(_, e)| e).unwrap_or(0))
+        self.with_factors(|fs| fs.iter().find(|&&(w, _)| w == v).map_or(0, |&(_, e)| e))
     }
 
     /// Iterates over `(variable, exponent)` pairs in canonical (variable

@@ -70,7 +70,9 @@ impl Poly {
     pub fn from_terms<I: IntoIterator<Item = (Monomial, Rat)>>(iter: I) -> Self {
         let mut terms: Vec<(Monomial, Rat)> = iter.into_iter().collect();
         terms.sort_by_key(|t| t.0);
-        Poly { terms: coalesce_sorted(terms) }
+        let p = Poly { terms: coalesce_sorted(terms) };
+        p.debug_assert_canonical();
+        p
     }
 
     /// Adds `c * m` in place.
@@ -85,8 +87,36 @@ impl Poly {
                     self.terms.remove(i);
                 }
             }
-            Err(i) => self.terms.insert(i, (m, c)),
+            Err(i) => {
+                debug_assert!(
+                    i == 0 || self.terms[i - 1].0 < m,
+                    "poly insertion breaks monomial order"
+                );
+                debug_assert!(
+                    i == self.terms.len() || m < self.terms[i].0,
+                    "poly insertion breaks monomial order"
+                );
+                self.terms.insert(i, (m, c));
+            }
         }
+    }
+
+    /// Canonical-form invariant: monomial keys strictly increasing, no zero
+    /// coefficients.  Every kernel (add, mul, substitution, renaming) relies
+    /// on it; `cargo test` runs with `debug_assertions` on, so any violation
+    /// fails loudly there while release builds pay nothing.  Checked in full
+    /// only on whole-poly construction — per-insertion paths use O(1)
+    /// neighbor checks to keep debug builds near release speed.
+    #[inline]
+    fn debug_assert_canonical(&self) {
+        debug_assert!(
+            self.terms.windows(2).all(|w| w[0].0 < w[1].0),
+            "poly terms not strictly increasing by monomial key"
+        );
+        debug_assert!(
+            self.terms.iter().all(|(_, c)| !c.is_zero()),
+            "poly retains an explicit zero coefficient"
+        );
     }
 
     /// Returns `true` iff this is the zero polynomial.
@@ -727,12 +757,12 @@ mod tests {
             RefPoly(p.terms().map(|(m, c)| (*m, c.clone())).collect())
         }
 
-        fn add_term(&mut self, m: Monomial, c: Rat) {
+        fn add_term(&mut self, m: Monomial, c: &Rat) {
             if c.is_zero() {
                 return;
             }
             let entry = self.0.entry(m).or_insert_with(Rat::zero);
-            *entry += &c;
+            *entry += c;
             if entry.is_zero() {
                 self.0.remove(&m);
             }
@@ -741,7 +771,7 @@ mod tests {
         fn add(&self, other: &RefPoly) -> RefPoly {
             let mut out = RefPoly(self.0.clone());
             for (m, c) in &other.0 {
-                out.add_term(*m, c.clone());
+                out.add_term(*m, c);
             }
             out
         }
@@ -750,7 +780,7 @@ mod tests {
             let mut out = RefPoly(BTreeMap::new());
             for (m1, c1) in &self.0 {
                 for (m2, c2) in &other.0 {
-                    out.add_term(m1.mul(m2), c1 * c2);
+                    out.add_term(m1.mul(m2), &(c1 * c2));
                 }
             }
             out

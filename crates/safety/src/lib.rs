@@ -19,7 +19,6 @@
 //! unreachability; the core algorithm treats it as "unknown", exactly as the
 //! paper treats a safety-prover timeout.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use revterm_num::Int;

@@ -93,6 +93,13 @@ pub struct EntailmentOptions {
     /// witnesses do not depend on the choice; only [`LpEngine::Revised`]
     /// can exploit a [`BasisCache`] for warm starts.
     pub lp_engine: LpEngine,
+    /// Allow callers to answer all-linear entailment queries by interval
+    /// closure of the premises (the `revterm_absint` fast path) instead of
+    /// building an LP.  The fast path only ever claims entailments that
+    /// carry an explicit Farkas certificate, so answers are bitwise
+    /// identical either way; the flag exists as the differential knob for
+    /// the `absint` on/off determinism gate.
+    pub interval_fast_path: bool,
 }
 
 impl Default for EntailmentOptions {
@@ -102,6 +109,7 @@ impl Default for EntailmentOptions {
             max_product_degree: 4,
             use_unsat_fallback: true,
             lp_engine: LpEngine::Revised,
+            interval_fast_path: true,
         }
     }
 }

@@ -63,7 +63,6 @@
 //! assert!(entails(&premise, &conclusion, &EntailmentOptions::default()));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod entail;

@@ -840,6 +840,9 @@ pub struct LpStats {
     /// Warm-start hits: a stored basis re-factorized successfully and its
     /// basic solution was feasible, so phase 1 was skipped.
     pub warm_hits: u64,
+    /// Entailment queries answered by the abstract-interpretation interval
+    /// fast path without building an LP at all (see `revterm_absint`).
+    pub absint_fast_paths: u64,
 }
 
 impl LpStats {
@@ -850,6 +853,7 @@ impl LpStats {
         self.refactorizations += other.refactorizations;
         self.warm_lookups += other.warm_lookups;
         self.warm_hits += other.warm_hits;
+        self.absint_fast_paths += other.absint_fast_paths;
     }
 
     /// The counter increments since an `earlier` snapshot of the same
@@ -861,6 +865,7 @@ impl LpStats {
             refactorizations: self.refactorizations - earlier.refactorizations,
             warm_lookups: self.warm_lookups - earlier.warm_lookups,
             warm_hits: self.warm_hits - earlier.warm_hits,
+            absint_fast_paths: self.absint_fast_paths - earlier.absint_fast_paths,
         }
     }
 }
@@ -1016,6 +1021,7 @@ impl<'a> RevisedSimplex<'a> {
     /// Appends the inverse eta that pivots `w = B⁻¹·a_entering` at `slot`
     /// (requires `w[slot] != 0`).
     fn push_eta(&mut self, slot: usize, w: &[Rat]) {
+        debug_assert!(!w[slot].is_zero(), "eta pivot element is zero");
         let inv = w[slot].recip();
         let mut entries = Vec::with_capacity(w.iter().filter(|v| !v.is_zero()).count());
         for (i, wi) in w.iter().enumerate() {
@@ -1025,6 +1031,10 @@ impl<'a> RevisedSimplex<'a> {
                 entries.push((i as u32, -(wi * &inv)));
             }
         }
+        debug_assert!(
+            entries.windows(2).all(|e| e[0].0 < e[1].0),
+            "eta entries not strictly increasing by row"
+        );
         self.etas.push(Eta { slot: slot as u32, entries });
     }
 
@@ -1920,8 +1930,14 @@ mod tests {
 
     #[test]
     fn lp_stats_accumulate_and_delta() {
-        let mut a =
-            LpStats { solves: 3, pivots: 10, refactorizations: 1, warm_lookups: 2, warm_hits: 1 };
+        let mut a = LpStats {
+            solves: 3,
+            pivots: 10,
+            refactorizations: 1,
+            warm_lookups: 2,
+            warm_hits: 1,
+            absint_fast_paths: 0,
+        };
         let before = a;
         a.accumulate(&LpStats {
             solves: 1,
@@ -1929,10 +1945,18 @@ mod tests {
             refactorizations: 1,
             warm_lookups: 1,
             warm_hits: 1,
+            absint_fast_paths: 2,
         });
         assert_eq!(
             a.delta_since(&before),
-            LpStats { solves: 1, pivots: 4, refactorizations: 1, warm_lookups: 1, warm_hits: 1 }
+            LpStats {
+                solves: 1,
+                pivots: 4,
+                refactorizations: 1,
+                warm_lookups: 1,
+                warm_hits: 1,
+                absint_fast_paths: 2,
+            }
         );
         assert_eq!(a.solves, 4);
         assert_eq!(a.pivots, 14);

@@ -15,7 +15,6 @@
 //! soundness cross-check (a tool claiming non-termination of a program
 //! labelled terminating would indicate a bug).
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use revterm_lang::{parse_program, Program};

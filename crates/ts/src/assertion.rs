@@ -421,7 +421,7 @@ mod tests {
 
     #[test]
     fn assertion_negation_is_exact_on_integers() {
-        let a = Assertion::from_polys([x().clone(), y() - Poly::constant_i64(3)]); // x>=0 /\ y>=3
+        let a = Assertion::from_polys([x(), y() - Poly::constant_i64(3)]); // x>=0 /\ y>=3
         let neg = a.negate();
         // Check on a grid of integer points: holds(neg) == !holds(a).
         for xv in -3..4 {

@@ -34,7 +34,6 @@
 //! assert_eq!(reversed.init_loc(), ts.terminal_loc());
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assertion;

@@ -2,7 +2,7 @@
 
 use crate::assertion::Assertion;
 use crate::vars::VarTable;
-use revterm_poly::Poly;
+use revterm_poly::{Poly, Var};
 use std::fmt;
 
 /// A location of a transition system (index into the location table).
@@ -176,6 +176,73 @@ impl TransitionSystem {
     /// Returns `true` iff the system contains non-deterministic assignments.
     pub fn has_nondeterminism(&self) -> bool {
         self.ndet_transitions().next().is_some()
+    }
+
+    /// Which program variables (by base index) are meaningfully mentioned
+    /// in the system — in the initial assertion, a guard (purely-unprimed
+    /// relation atom), an assignment right-hand side or target, or an
+    /// opaque `General` relation.  Frame equalities `x' = x` do **not**
+    /// count: a variable that is only ever framed cannot influence any run,
+    /// and `revterm analyze` reports it as unused.
+    pub fn mentioned_vars(&self) -> Vec<bool> {
+        let mut mentioned = vec![false; self.vars.len()];
+        let mark = |v: Var, mentioned: &mut Vec<bool>| {
+            let i = self.vars.base_index(v);
+            if i < mentioned.len() {
+                mentioned[i] = true;
+            }
+        };
+        for atom in self.init_assertion.atoms() {
+            for v in atom.vars() {
+                mark(v, &mut mentioned);
+            }
+        }
+        for t in &self.transitions {
+            // Guards are the purely-unprimed relation atoms; the primed
+            // atoms of structured kinds are frames/updates handled below.
+            let guard_atoms = t
+                .relation
+                .atoms()
+                .iter()
+                .filter(|p| p.vars().into_iter().all(|v| self.vars.is_unprimed(v)));
+            match &t.kind {
+                TransitionKind::Assign { var, rhs } => {
+                    mentioned[*var] = true;
+                    for v in rhs.vars() {
+                        mark(v, &mut mentioned);
+                    }
+                    for atom in guard_atoms {
+                        for v in atom.vars() {
+                            mark(v, &mut mentioned);
+                        }
+                    }
+                }
+                TransitionKind::NdetAssign { var } => {
+                    mentioned[*var] = true;
+                    for atom in guard_atoms {
+                        for v in atom.vars() {
+                            mark(v, &mut mentioned);
+                        }
+                    }
+                }
+                TransitionKind::Guard => {
+                    for atom in guard_atoms {
+                        for v in atom.vars() {
+                            mark(v, &mut mentioned);
+                        }
+                    }
+                }
+                TransitionKind::General => {
+                    for atom in t.relation.atoms() {
+                        for v in atom.vars() {
+                            mark(v, &mut mentioned);
+                        }
+                    }
+                }
+                TransitionKind::TerminalSelfLoop => {}
+            }
+        }
+        mentioned
     }
 
     /// The reversed transition system `T^{r,Θ}` of Definition 3.1.

@@ -39,6 +39,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --release
 
+# The dev profile keeps debug-assertions on (opt-level is raised but
+# debug_assert! stays live), so this run exercises the canonical-form
+# invariant checks in Poly/LinExpr and the eta-file pivot assertions —
+# release builds compile them out.
 echo "==> cargo test -q"
 cargo test -q
 
@@ -58,6 +62,10 @@ if $run_bench_smoke; then
     # exits non-zero on any digest divergence, any heap allocation on the
     # packed hashing path, or a zero warm-start hit rate — the revised-simplex
     # and packed-monomial acceptance criteria, re-proved on every CI run.
+    # It also runs the degree-1 sweep with the absint pre-analysis ON and
+    # OFF and fails on verdict-digest divergence, on zero absint engagement
+    # (no fast paths and no prunes taken), or on any absint path taken while
+    # the pre-analysis is disabled.
     echo "==> bench smoke (num_profile 30)"
     cargo run --release -q -p revterm-bench --bin num_profile 30 \
         | tee target/ci-artifacts/num-profile.json

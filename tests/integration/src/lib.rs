@@ -3,8 +3,6 @@
 //! The actual tests live in `tests/`; this library only provides a couple of
 //! helpers shared between them.
 
-#![forbid(unsafe_code)]
-
 use revterm_lang::parse_program;
 use revterm_ts::{lower, TransitionSystem};
 
