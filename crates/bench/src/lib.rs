@@ -16,7 +16,7 @@
 //!
 //! # Perf-harness JSON schemas
 //!
-//! Besides the table bins, two harness bins print machine-readable JSON so
+//! Besides the table bins, three harness bins print machine-readable JSON so
 //! that perf trajectories can be compared across commits without reading the
 //! binaries. Both exit non-zero on any equivalence failure, so a CI-green
 //! run certifies every digest comparison below.
@@ -86,6 +86,22 @@
 //! | `lp_refactorizations` | warm-start basis refactorizations |
 //! | `lp_warm_lookups` | solves that consulted the session [`revterm_solver::BasisCache`] |
 //! | `lp_warm_hits` | of those, resumed from a stored optimal basis |
+//!
+//! ## `serve_smoke` (one JSON object per run)
+//!
+//! Boots an in-process `revterm-serve` daemon on an ephemeral port and
+//! holds it to the service contract (see `PROTOCOL.md`): digest-identical
+//! verdicts vs in-process runs, pooled warm sessions on repeat requests,
+//! and structured timeouts that leave the daemon healthy.
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `digest` | the verdict digest both the daemon and the in-process run produced |
+//! | `prove_cold_us` | wall-clock of the first (pool-miss) daemon prove |
+//! | `prove_warm_us` | wall-clock of the repeated (pool-hit) daemon prove |
+//! | `pool_hits` | session-pool hits reported by the daemon's metrics (exit 1 when 0) |
+//! | `timeout_structured` | a zero deadline produced a `timeout` verdict, not an error |
+//! | `verdicts_match` | daemon vs in-process digest agreement (exit 1 when false) |
 
 use revterm::{ProverConfig, SweepReport};
 use revterm_baselines::{BaselineProver, BaselineVerdict, RankingProver};

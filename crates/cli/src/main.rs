@@ -6,33 +6,59 @@
 //! revterm --suite                 run the prover on the embedded benchmark suite
 //! revterm --list                  list the embedded benchmarks
 //! revterm analyze <program.rt>    print the interval/sign pre-analysis
+//! revterm serve [--port N]        run the resident prover daemon
+//! revterm client <addr> ...       talk to a running daemon
 //! ```
 //!
 //! The default mode (also reachable as the explicit `prove` subcommand)
 //! proves non-termination.  Options: `--check1` / `--check2` (default: try
 //! both), `--show-ts` prints the transition system and its reversal before
 //! proving, `--stats` prints the per-run statistics of the prover session,
-//! and `--no-absint` disables the abstract-interpretation pre-analysis plus
-//! the interval entailment fast path (results are bitwise identical; the
-//! flag exists for benchmarking and differential testing).
+//! `--deadline-ms N` bounds the whole prove wall-clock (a cut-short search
+//! reports `TIMEOUT`), and `--no-absint` disables the
+//! abstract-interpretation pre-analysis plus the interval entailment fast
+//! path (results are bitwise identical; the flag exists for benchmarking
+//! and differential testing).
 //!
 //! The `analyze` subcommand runs only the pre-analysis and prints its facts:
 //! per-location variable intervals, unreachable locations, unused variables,
 //! constant variables, and guards the analysis decides statically.
+//!
+//! The `serve` subcommand starts the `revterm-serve` daemon (see
+//! `PROTOCOL.md`); `client` drives one over TCP or a Unix socket.
+//!
+//! # Exit codes
+//!
+//! Distinct failure classes get distinct codes, so scripts can tell a typo
+//! from an unprovable program from a dead daemon:
+//!
+//! | code | meaning                                                |
+//! |------|--------------------------------------------------------|
+//! | 0    | success (non-termination proved, or command completed) |
+//! | 1    | `MAYBE` — no proof found, search exhausted             |
+//! | 2    | usage error (bad flags, unknown subcommand)            |
+//! | 3    | the program failed to parse or lower                   |
+//! | 4    | a deadline/budget cut the search short (`TIMEOUT`)     |
+//! | 5    | protocol or I/O failure talking to a daemon            |
 
-use revterm::{CheckKind, ProofResult, ProverConfig, ProverSession};
-use revterm_lang::parse_program;
-use revterm_ts::{lower, Assertion, TransitionSystem};
+use revterm::{CheckKind, Error, ProofResult, ProverConfig, ProverSession};
+use revterm_ts::{Assertion, TransitionSystem};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: revterm [--check1|--check2] [--show-ts] [--stats] [--no-absint] \
-     (<file> | --source <program> | --suite | --list)\n       \
-     revterm analyze (<file> | --source <program>)";
+     [--deadline-ms N] (<file> | --source <program> | --suite | --list)\n       \
+     revterm analyze (<file> | --source <program>)\n       \
+     revterm serve [--port N] [--unix <path>] [--pool N]\n       \
+     revterm client <addr> [--unix <path>] [--op <op>] [--deadline-ms N] \
+     (<file> | --source <program>)";
 
 /// All subcommands, with one-line descriptions (the first is the default).
 const SUBCOMMANDS: &[(&str, &str)] = &[
     ("prove", "prove non-termination (the default when no subcommand is given)"),
     ("analyze", "print the interval/sign pre-analysis of a program"),
+    ("serve", "run the resident prover daemon (line-delimited JSON, see PROTOCOL.md)"),
+    ("client", "send one request to a running daemon"),
 ];
 
 fn subcommand_names() -> String {
@@ -48,9 +74,17 @@ fn long_help() -> String {
     help.push_str("  --check1 | --check2   run only the given check (default: try both)\n");
     help.push_str("  --show-ts             print the transition system and its reversal\n");
     help.push_str("  --stats               print per-run prover statistics\n");
+    help.push_str("  --deadline-ms N       bound the whole prove wall-clock; exceeding it\n");
+    help.push_str("                        reports TIMEOUT (exit code 4)\n");
     help.push_str("  --no-absint           disable the abstract-interpretation pre-analysis and\n");
     help.push_str("                        the interval entailment fast path (results are\n");
-    help.push_str("                        identical; for benchmarking and differential testing)");
+    help.push_str(
+        "                        identical; for benchmarking and differential testing)\n",
+    );
+    help.push_str("\nclient operations (--op): prove (default), sweep, analyze, parse,\n");
+    help.push_str("stats, metrics, shutdown\n");
+    help.push_str("\nexit codes: 0 proved/ok, 1 MAYBE, 2 usage, 3 parse/analysis,\n");
+    help.push_str("4 timeout, 5 protocol/io");
     help
 }
 
@@ -58,6 +92,17 @@ fn long_help() -> String {
 fn usage_error() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::from(2)
+}
+
+/// The exit code for a typed prover/daemon error (see the module docs).
+fn exit_for(error: &Error) -> ExitCode {
+    eprintln!("error: {error}");
+    match error {
+        Error::Parse(_) | Error::Analysis(_) | Error::BadLabel(_) => ExitCode::from(3),
+        Error::Timeout => ExitCode::from(4),
+        Error::Protocol(_) | Error::Io(_) => ExitCode::from(5),
+        Error::NoConfigs => ExitCode::from(2),
+    }
 }
 
 fn print_stats(result: &ProofResult) {
@@ -75,27 +120,38 @@ fn print_stats(result: &ProofResult) {
     );
 }
 
-/// Parses and lowers a program given as a file path or inline source,
-/// reporting errors on stderr.
-fn load_system(src: &str) -> Result<TransitionSystem, ExitCode> {
-    let program = match parse_program(src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return Err(ExitCode::from(2));
+/// Parses and lowers a program given as inline source.
+fn load_system(src: &str) -> Result<TransitionSystem, Error> {
+    revterm::lower_source(src)
+}
+
+/// Reports the result of a local or remote prove in the shared format and
+/// maps the verdict to the exit code (`0` proved / `1` maybe / `4` timeout).
+fn report_verdict(
+    verdict_label: &str,
+    proved: bool,
+    timed_out: bool,
+    summary: Option<&str>,
+    elapsed: Duration,
+) -> ExitCode {
+    if proved {
+        println!("NO (non-terminating), proved by {verdict_label} in {elapsed:.2?}");
+        if let Some(summary) = summary {
+            println!("{summary}");
         }
-    };
-    match lower(&program) {
-        Ok(ts) => Ok(ts),
-        Err(e) => {
-            eprintln!("error: {e}");
-            Err(ExitCode::from(2))
-        }
+        ExitCode::SUCCESS
+    } else if timed_out {
+        println!("TIMEOUT (search cut short by the deadline) in {elapsed:.2?}");
+        ExitCode::from(4)
+    } else {
+        println!("MAYBE (no non-termination proof found) in {elapsed:.2?}");
+        ExitCode::from(1)
     }
 }
 
 /// The `analyze` subcommand: run the interval/sign pre-analysis and print
-/// the per-location envelopes plus the derived diagnostics.
+/// the per-location envelopes plus the derived diagnostics (the renderer is
+/// shared with the wire `analyze` operation: [`revterm::analysis_report`]).
 fn run_analyze(args: &[String]) -> ExitCode {
     let mut source: Option<String> = None;
     let mut iter = args.iter();
@@ -121,47 +177,9 @@ fn run_analyze(args: &[String]) -> ExitCode {
     let Some(src) = source else { return usage_error() };
     let ts = match load_system(&src) {
         Ok(ts) => ts,
-        Err(code) => return code,
+        Err(error) => return exit_for(&error),
     };
-    let state = revterm_absint::analyze(&ts);
-    let names = ts.vars().names();
-
-    println!("pre-analysis: {} locations, {} variables", ts.num_locs(), names.len());
-    for loc in ts.locations() {
-        match state.env(loc) {
-            None => println!("  {:<8} unreachable", ts.loc_name(loc)),
-            Some(env) => {
-                let bounds: Vec<String> =
-                    env.iter().enumerate().map(|(i, iv)| format!("{} in {iv}", names[i])).collect();
-                println!("  {:<8} {}", ts.loc_name(loc), bounds.join(", "));
-            }
-        }
-    }
-
-    let diag = revterm_absint::diagnostics(&ts, &state);
-    if !diag.unreachable_locs.is_empty() {
-        let locs: Vec<&str> = diag.unreachable_locs.iter().map(|&l| ts.loc_name(l)).collect();
-        println!("unreachable locations: {}", locs.join(", "));
-    }
-    if !diag.unused_vars.is_empty() {
-        let vars: Vec<&str> = diag.unused_vars.iter().map(|&i| names[i].as_str()).collect();
-        println!("unused variables: {}", vars.join(", "));
-    }
-    if !diag.constant_vars.is_empty() {
-        let consts: Vec<String> =
-            diag.constant_vars.iter().map(|(i, v)| format!("{} = {v}", names[*i])).collect();
-        println!("constant variables: {}", consts.join(", "));
-    }
-    if !diag.constant_guards.is_empty() {
-        let guards: Vec<String> = diag
-            .constant_guards
-            .iter()
-            .map(|(id, fires)| {
-                format!("t{id} {}", if *fires { "always fires" } else { "never fires" })
-            })
-            .collect();
-        println!("decided guards: {}", guards.join(", "));
-    }
+    print!("{}", revterm::analysis_report(&ts));
     ExitCode::SUCCESS
 }
 
@@ -174,6 +192,7 @@ fn run_prove(args: Vec<String>) -> ExitCode {
     let mut show_ts = false;
     let mut show_stats = false;
     let mut no_absint = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut source: Option<String> = None;
     let mut run_suite = false;
     let mut list = false;
@@ -187,6 +206,10 @@ fn run_prove(args: Vec<String>) -> ExitCode {
             "--no-absint" => no_absint = true,
             "--suite" => run_suite = true,
             "--list" => list = true,
+            "--deadline-ms" => match iter.next().and_then(|ms| ms.parse().ok()) {
+                Some(ms) => deadline_ms = Some(ms),
+                None => return usage_error(),
+            },
             "--source" => match iter.next() {
                 Some(src) => source = Some(src),
                 None => return usage_error(),
@@ -228,15 +251,21 @@ fn run_prove(args: Vec<String>) -> ExitCode {
             config.entailment.interval_fast_path = false;
         }
     }
+    let deadline = deadline_ms.map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
 
     if run_suite {
         let mut proved = 0;
         let suite = revterm_suite::full_suite();
         for b in &suite {
             let mut session = b.session();
-            let result = session.prove_first(&configs);
-            let verdict =
-                if result.is_non_terminating() { "NO (non-terminating)" } else { "MAYBE" };
+            let result = session.prove_first_with_deadline(&configs, deadline);
+            let verdict = if result.is_non_terminating() {
+                "NO (non-terminating)"
+            } else if result.timed_out() {
+                "TIMEOUT"
+            } else {
+                "MAYBE"
+            };
             println!(
                 "{:<28} {:<22} [{:?} expected] in {:.2?}",
                 b.name, verdict, b.expected, result.elapsed
@@ -255,7 +284,7 @@ fn run_prove(args: Vec<String>) -> ExitCode {
     let Some(src) = source else { return usage_error() };
     let ts = match load_system(&src) {
         Ok(ts) => ts,
-        Err(code) => return code,
+        Err(error) => return exit_for(&error),
     };
     if show_ts {
         println!("--- transition system ---\n{}", ts.display());
@@ -265,23 +294,242 @@ fn run_prove(args: Vec<String>) -> ExitCode {
         );
     }
     let mut session = ProverSession::new(ts);
-    let result = session.prove_first(&configs);
+    let result = session.prove_first_with_deadline(&configs, deadline);
     if show_stats {
         print_stats(&result);
     }
-    match result.certificate() {
-        Some(cert) => {
-            println!(
-                "NO (non-terminating), proved by {} in {:.2?}",
-                result.config_label, result.elapsed
-            );
-            println!("{}", cert.summary(session.ts()));
+    let summary = result.certificate().map(|c| c.summary(session.ts()));
+    report_verdict(
+        &result.config_label,
+        result.is_non_terminating(),
+        result.timed_out(),
+        summary.as_deref(),
+        result.elapsed,
+    )
+}
+
+/// The `serve` subcommand: run the daemon until a `shutdown` request.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut config = revterm_serve::ServeConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--port" => match iter.next().and_then(|p| p.parse().ok()) {
+                Some(port) => config.port = port,
+                None => return usage_error(),
+            },
+            "--unix" => match iter.next() {
+                Some(path) => config.unix_path = Some(path.into()),
+                None => return usage_error(),
+            },
+            "--pool" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.pool_capacity = n,
+                None => return usage_error(),
+            },
+            "--help" | "-h" => {
+                println!("{}", long_help());
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage_error(),
+        }
+    }
+    match revterm_serve::serve(&config) {
+        Ok(handle) => {
+            // The address line is machine-read by scripts (and the CI smoke
+            // test) to discover the ephemeral port; keep its shape stable.
+            println!("revterm-serve listening on {}", handle.addr());
+            if let Some(path) = &config.unix_path {
+                println!("revterm-serve listening on unix:{}", path.display());
+            }
+            handle.join();
+            println!("revterm-serve stopped");
             ExitCode::SUCCESS
         }
-        None => {
-            println!("MAYBE (no non-termination proof found) in {:.2?}", result.elapsed);
-            ExitCode::from(1)
+        Err(error) => exit_for(&error),
+    }
+}
+
+/// The `client` subcommand: one request against a running daemon.
+fn run_client(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut op = "prove".to_string();
+    let mut source: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut stop_after = 0usize;
+    let mut check: Option<CheckKind> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--unix" => match iter.next() {
+                Some(path) => unix = Some(path.clone()),
+                None => return usage_error(),
+            },
+            "--op" => match iter.next() {
+                Some(name) => op = name.clone(),
+                None => return usage_error(),
+            },
+            "--source" => match iter.next() {
+                Some(src) => source = Some(src.clone()),
+                None => return usage_error(),
+            },
+            "--deadline-ms" => match iter.next().and_then(|ms| ms.parse().ok()) {
+                Some(ms) => deadline_ms = Some(ms),
+                None => return usage_error(),
+            },
+            "--stop-after" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(n) => stop_after = n,
+                None => return usage_error(),
+            },
+            "--check1" => check = Some(CheckKind::Check1),
+            "--check2" => check = Some(CheckKind::Check2),
+            "--help" | "-h" => {
+                println!("{}", long_help());
+                return ExitCode::SUCCESS;
+            }
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_string()),
+            path if source.is_none() && !path.starts_with('-') => {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => source = Some(text),
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => return usage_error(),
         }
+    }
+
+    let mut client = match (&addr, &unix) {
+        (_, Some(path)) => {
+            #[cfg(unix)]
+            match revterm_serve::Client::connect_unix(path) {
+                Ok(client) => client,
+                Err(error) => return exit_for(&error),
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return exit_for(&Error::Io("unix sockets are unsupported here".into()));
+            }
+        }
+        (Some(addr), None) => match revterm_serve::Client::connect(addr.as_str()) {
+            Ok(client) => client,
+            Err(error) => return exit_for(&error),
+        },
+        (None, None) => return usage_error(),
+    };
+
+    let configs = match check {
+        Some(kind) => vec![ProverConfig::builder().check(kind).build()],
+        None => Vec::new(), // empty = server default
+    };
+    let need_source = || source.clone().ok_or(()).map_err(|()| usage_error());
+    match op.as_str() {
+        "prove" => {
+            let src = match need_source() {
+                Ok(src) => src,
+                Err(code) => return code,
+            };
+            match client.prove(&src, configs, deadline_ms) {
+                Ok((outcome, pool_hit)) => {
+                    if pool_hit {
+                        println!("(served from pooled session)");
+                    }
+                    report_verdict(
+                        &outcome.label,
+                        outcome.is_non_terminating(),
+                        outcome.is_timeout(),
+                        outcome.certificate.as_ref().map(|c| c.summary.as_str()),
+                        Duration::from_micros(outcome.elapsed_us),
+                    )
+                }
+                Err(error) => exit_for(&error),
+            }
+        }
+        "sweep" => {
+            let src = match need_source() {
+                Ok(src) => src,
+                Err(code) => return code,
+            };
+            match client.sweep(&src, configs, stop_after, deadline_ms) {
+                Ok((outcomes, _)) => {
+                    let mut proved = false;
+                    let mut timed_out = false;
+                    for o in &outcomes {
+                        println!(
+                            "{:<28} {:<16} in {:.2?}",
+                            o.label,
+                            o.verdict,
+                            Duration::from_micros(o.elapsed_us)
+                        );
+                        proved |= o.is_non_terminating();
+                        timed_out |= o.is_timeout();
+                    }
+                    if proved {
+                        ExitCode::SUCCESS
+                    } else if timed_out {
+                        ExitCode::from(4)
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(error) => exit_for(&error),
+            }
+        }
+        "analyze" => {
+            let src = match need_source() {
+                Ok(src) => src,
+                Err(code) => return code,
+            };
+            match client.analyze(&src) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(error) => exit_for(&error),
+            }
+        }
+        "parse" => {
+            let src = match need_source() {
+                Ok(src) => src,
+                Err(code) => return code,
+            };
+            let body = revterm::api::RequestBody::Parse { source: src };
+            match client.request(body) {
+                Ok(response) => {
+                    println!("{}", response.to_json());
+                    if let revterm::api::ResponseBody::Failed(error) = &response.body {
+                        return exit_for(error);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(error) => exit_for(&error),
+            }
+        }
+        "stats" => match client.stats() {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(error) => exit_for(&error),
+        },
+        "metrics" => match client.metrics() {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(error) => exit_for(&error),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                println!("shutdown acknowledged");
+                ExitCode::SUCCESS
+            }
+            Err(error) => exit_for(&error),
+        },
+        _ => usage_error(),
     }
 }
 
@@ -292,6 +540,8 @@ fn main() -> ExitCode {
     }
     match args[0].as_str() {
         "analyze" => run_analyze(&args[1..]),
+        "serve" => run_serve(&args[1..]),
+        "client" => run_client(&args[1..]),
         "prove" => {
             args.remove(0);
             run_prove(args)

@@ -1,7 +1,9 @@
 //! End-to-end tests of the `revterm` binary: subcommand dispatch, the
-//! `analyze` output, the unknown-subcommand error, and `--no-absint`.
+//! `analyze` output, the unknown-subcommand error, `--no-absint`, the
+//! exit-code contract and the `serve`/`client` round trip.
 
-use std::process::{Command, Output};
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Output, Stdio};
 
 fn revterm(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_revterm")).args(args).output().expect("binary runs")
@@ -55,6 +57,92 @@ fn help_documents_analyze_and_no_absint() {
     assert!(text.contains("analyze"), "help must mention analyze: {text}");
     assert!(text.contains("--no-absint"), "help must mention --no-absint: {text}");
     assert!(text.contains("subcommands:"), "help must have a subcommand section: {text}");
+}
+
+#[test]
+fn exit_codes_distinguish_usage_parse_maybe_and_timeout() {
+    // Exit-code contract (see the module docs of the binary):
+    // 0 proved, 1 MAYBE, 2 usage, 3 parse/analysis, 4 timeout.
+    let proved = revterm(&["--check1", "--source", "while x >= 0 do x := x + 1; od"]);
+    assert_eq!(proved.status.code(), Some(0), "stderr: {}", stderr(&proved));
+
+    // A terminating program yields no proof: MAYBE, exit 1.
+    let maybe = revterm(&["--source", "while x >= 1 do x := x - 1; od"]);
+    assert_eq!(maybe.status.code(), Some(1), "stdout: {}", stdout(&maybe));
+    assert!(stdout(&maybe).contains("MAYBE"));
+
+    // Bad flags are usage errors: exit 2.
+    let usage = revterm(&["--source"]);
+    assert_eq!(usage.status.code(), Some(2));
+
+    // A syntactically broken program is a parse error: exit 3, and the
+    // message names the error class.
+    let parse = revterm(&["--source", "while x >="]);
+    assert_eq!(parse.status.code(), Some(3), "stderr: {}", stderr(&parse));
+    assert!(stderr(&parse).contains("parse error"), "stderr: {}", stderr(&parse));
+    let analyze_parse = revterm(&["analyze", "--source", "while x >="]);
+    assert_eq!(analyze_parse.status.code(), Some(3));
+
+    // A zero deadline cuts the search short: TIMEOUT, exit 4.
+    let cut = revterm(&["--deadline-ms", "0", "--source", "while x >= 0 do x := x + 1; od"]);
+    assert_eq!(cut.status.code(), Some(4), "stdout: {}", stdout(&cut));
+    assert!(stdout(&cut).contains("TIMEOUT"), "stdout: {}", stdout(&cut));
+}
+
+#[test]
+fn serve_and_client_round_trip_over_an_ephemeral_port() {
+    // Start the daemon on an ephemeral port and scrape the address from the
+    // stable "listening on" line.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_revterm"))
+        .args(["serve", "--port", "0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let daemon_stdout = daemon.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(daemon_stdout).lines();
+    let first = lines.next().expect("an address line").expect("readable");
+    let addr = first
+        .strip_prefix("revterm-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first}"))
+        .to_string();
+
+    // A remote prove prints the same verdict line as a local one and shares
+    // its exit-code mapping.
+    let src = "while x >= 0 do x := x + 1; od";
+    let local = revterm(&["--source", src]);
+    let remote = revterm(&["client", &addr, "--source", src]);
+    assert_eq!(remote.status.code(), Some(0), "stderr: {}", stderr(&remote));
+    assert!(stdout(&remote).contains("NO (non-terminating)"), "{}", stdout(&remote));
+    let verdict_of = |out: &Output| {
+        stdout(out)
+            .lines()
+            .find(|l| l.starts_with("NO ("))
+            .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
+    };
+    assert_eq!(verdict_of(&remote), verdict_of(&local), "daemon and local verdicts differ");
+
+    // The second identical request is served from the session pool.
+    let pooled = revterm(&["client", &addr, "--source", src]);
+    assert!(stdout(&pooled).contains("served from pooled session"), "{}", stdout(&pooled));
+
+    // Remote parse errors map to the same exit code as local ones, and a
+    // zero deadline maps to the timeout code.
+    let parse = revterm(&["client", &addr, "--source", "while x >="]);
+    assert_eq!(parse.status.code(), Some(3), "stderr: {}", stderr(&parse));
+    let cut = revterm(&["client", &addr, "--deadline-ms", "0", "--source", src]);
+    assert_eq!(cut.status.code(), Some(4), "stdout: {}", stdout(&cut));
+
+    // Remote analyze prints the exact local report.
+    let terminating = "x := 5; while x >= 0 do x := x + 1; od";
+    let local_report = revterm(&["analyze", "--source", terminating]);
+    let remote_report = revterm(&["client", &addr, "--op", "analyze", "--source", terminating]);
+    assert_eq!(stdout(&remote_report), stdout(&local_report));
+
+    // Shut the daemon down through the protocol; it must exit cleanly.
+    let shutdown = revterm(&["client", &addr, "--op", "shutdown"]);
+    assert_eq!(shutdown.status.code(), Some(0), "stderr: {}", stderr(&shutdown));
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
 }
 
 #[test]

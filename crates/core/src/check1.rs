@@ -7,6 +7,7 @@
 
 use crate::certificate::{Check1Certificate, NonTerminationCertificate};
 use crate::config::{ProverConfig, Strategy};
+use crate::prover::{BudgetGuard, TimedOut};
 use crate::session::{memo, Caches, ProveStats, RestrictedEntry};
 use revterm_invgen::{synthesize_invariant_cached, SampleSet, SynthesisOptions, TemplateParams};
 use revterm_poly::Poly;
@@ -101,9 +102,13 @@ pub(crate) fn synthesis_options(
 /// [`crate::ProverSession`] when running more than one configuration.  The
 /// caller is expected to re-validate the returned certificate with
 /// [`crate::validate_certificate`] (the session and [`crate::prove`] entry
-/// points do).
+/// points do).  If the configuration carries a [`crate::Budget`] that
+/// expires mid-search, the search is abandoned and `None` is returned (use
+/// [`crate::prove`] to distinguish a timeout from an exhausted search).
 pub fn check1(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
-    check1_cached(ts, config, &mut Caches::default(), &mut ProveStats::default())
+    let guard = BudgetGuard::arm(&config.budget, 0);
+    check1_cached(ts, config, &mut Caches::default(), &mut ProveStats::default(), &guard)
+        .unwrap_or(None)
 }
 
 /// Check 1 with every derived artifact served from (and recorded into) the
@@ -111,20 +116,28 @@ pub fn check1(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTermina
 /// per search bounds, restricted systems and their atom pools per
 /// resolution, divergence-probe traces per `(resolution, initial)` pair, and
 /// memoized entailment queries.
+///
+/// The [`BudgetGuard`] is consulted at candidate boundaries (and before each
+/// synthesis call); `Err(TimedOut)` aborts the search *between* memoized
+/// computations, so every cache entry the call leaves behind is complete.
 pub(crate) fn check1_cached(
     ts: &TransitionSystem,
     config: &ProverConfig,
     caches: &mut Caches,
     stats: &mut ProveStats,
-) -> Option<NonTerminationCertificate> {
+    guard: &BudgetGuard,
+) -> Result<Option<NonTerminationCertificate>, TimedOut> {
     let initials = caches.initials_for(ts, config, stats);
     if initials.is_empty() {
-        return None;
+        return Ok(None);
     }
     let resolutions = caches.resolutions_for(ts, config, stats);
     let Caches { entail, lp_basis, restricted, .. } = caches;
     let mut synthesis_budget = 8usize;
     for resolution in resolutions {
+        if guard.exhausted(entail.lookups) {
+            return Err(TimedOut);
+        }
         let entry = memo(
             restricted,
             resolution.clone(),
@@ -135,6 +148,9 @@ pub(crate) fn check1_cached(
         let RestrictedEntry { system: restricted_system, pool, probes, invariants, .. } = entry;
         let restricted_system = &*restricted_system;
         for initial in initials.iter().take(config.max_initial_configs) {
+            if guard.exhausted(entail.lookups) {
+                return Err(TimedOut);
+            }
             stats.candidates_tried += 1;
             // Cheap probe: run the (deterministic) restricted system; if it
             // reaches ℓ_out within the probe bound this initial configuration
@@ -161,7 +177,7 @@ pub(crate) fn check1_cached(
                 continue;
             }
             if synthesis_budget == 0 {
-                return None;
+                return Ok(None);
             }
             synthesis_budget -= 1;
 
@@ -233,14 +249,14 @@ pub(crate) fn check1_cached(
             if !invariant.at(restricted_system.init_loc()).holds_int(&initial.assignment()) {
                 continue;
             }
-            return Some(NonTerminationCertificate::Check1(Check1Certificate {
+            return Ok(Some(NonTerminationCertificate::Check1(Check1Certificate {
                 resolution,
                 invariant,
                 initial: initial.clone(),
-            }));
+            })));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Orders the candidate initial valuations so that valuations from which the

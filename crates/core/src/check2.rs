@@ -14,6 +14,7 @@
 use crate::certificate::{Check2Certificate, NonTerminationCertificate};
 use crate::check1::synthesis_options;
 use crate::config::ProverConfig;
+use crate::prover::{BudgetGuard, TimedOut};
 use crate::session::{
     memo, reversed_entry_for, Caches, ProveStats, RestrictedEntry, ReversedEntry,
 };
@@ -25,9 +26,13 @@ use revterm_ts::{Assertion, TransitionSystem};
 /// Runs Check 2 on a transition system.
 ///
 /// One-shot wrapper around `check2_cached` with empty caches; prefer a
-/// [`crate::ProverSession`] when running more than one configuration.
+/// [`crate::ProverSession`] when running more than one configuration.  Like
+/// [`crate::check1`], an expired [`crate::Budget`] surfaces as `None` here;
+/// [`crate::prove`] reports the structured timeout verdict.
 pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTerminationCertificate> {
-    check2_cached(ts, config, &mut Caches::default(), &mut ProveStats::default())
+    let guard = BudgetGuard::arm(&config.budget, 0);
+    check2_cached(ts, config, &mut Caches::default(), &mut ProveStats::default(), &guard)
+        .unwrap_or(None)
 }
 
 /// Check 2 with every derived artifact served from (and recorded into) the
@@ -35,14 +40,22 @@ pub fn check2(ts: &TransitionSystem, config: &ProverConfig) -> Option<NonTermina
 /// `(Ĩ, Θ)` pair per effective synthesis inputs, restricted and reversed
 /// systems (with their atom pools) per resolution, backward-probe sample
 /// sets, and memoized entailment queries.
+///
+/// The [`BudgetGuard`] is consulted at candidate-resolution boundaries;
+/// `Err(TimedOut)` aborts the search *between* memoized computations, so
+/// every cache entry the call leaves behind is complete.
 pub(crate) fn check2_cached(
     ts: &TransitionSystem,
     config: &ProverConfig,
     caches: &mut Caches,
     stats: &mut ProveStats,
-) -> Option<NonTerminationCertificate> {
+    guard: &BudgetGuard,
+) -> Result<Option<NonTerminationCertificate>, TimedOut> {
     let resolutions = caches.resolutions_for(ts, config, stats);
     let Caches { entail, lp_basis, base_pool, forward_samples, tilde, restricted, .. } = caches;
+    if guard.exhausted(entail.lookups) {
+        return Err(TimedOut);
+    }
 
     // Step 1: a conjunctive invariant Ĩ of the full system, seeded with
     // concretely reachable samples.
@@ -90,6 +103,9 @@ pub(crate) fn check2_cached(
     for resolution in resolutions {
         if synthesis_budget == 0 {
             break;
+        }
+        if guard.exhausted(entail.lookups) {
+            return Err(TimedOut);
         }
         stats.candidates_tried += 1;
         let entry = memo(
@@ -194,14 +210,14 @@ pub(crate) fn check2_cached(
         // in the original system?
         let complement = bi.complement();
         if let Some(path) = find_path_to(ts, &complement, &config.search) {
-            return Some(NonTerminationCertificate::Check2(Check2Certificate {
+            return Ok(Some(NonTerminationCertificate::Check2(Check2Certificate {
                 resolution,
                 tilde_invariant: tilde_map,
                 theta,
                 backward_invariant: bi,
                 witness_path: path,
-            }));
+            })));
         }
     }
-    None
+    Ok(None)
 }

@@ -1,9 +1,57 @@
 //! Prover configurations (the paper's Section 6 "configurations").
 
+use crate::error::Error;
 use revterm_invgen::TemplateParams;
 use revterm_safety::SearchBounds;
 use revterm_solver::EntailmentOptions;
 use std::fmt;
+use std::time::Duration;
+
+/// A cooperative per-request budget: an optional wall-clock limit and an
+/// optional cap on entailment-oracle calls.
+///
+/// The prover checks the budget at *candidate boundaries* — between candidate
+/// `(resolution, initial)` pairs and before each invariant synthesis — never
+/// inside a memoized computation, so an interrupted run leaves every session
+/// cache entry fully computed (an interrupted session is never poisoned; the
+/// next call on it behaves exactly like a call on a fresh session with the
+/// same warm caches).  When the budget expires the verdict is the structured
+/// [`crate::Verdict::Timeout`], which the wire layer maps to
+/// [`Error::Timeout`].
+///
+/// The default budget is unlimited, so existing callers are unaffected; the
+/// budget is deliberately **not** part of [`ProverConfig::label`] (two runs
+/// that differ only in budget are the same configuration, one of them merely
+/// cut short).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock limit for one `prove` call (`None` = unlimited).  The
+    /// deadline is armed when the call starts, so the same configuration
+    /// value can be reused across requests.
+    pub time_limit: Option<Duration>,
+    /// Maximal number of entailment-oracle lookups one `prove` call may
+    /// issue (`None` = unlimited).  Unlike the wall clock this cap is
+    /// deterministic: the same request with the same cap times out at the
+    /// same point on every machine.
+    pub max_entailment_calls: Option<u64>,
+}
+
+impl Budget {
+    /// The unlimited budget (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A wall-clock-only budget.
+    pub fn with_time_limit(limit: Duration) -> Budget {
+        Budget { time_limit: Some(limit), max_entailment_calls: None }
+    }
+
+    /// Returns `true` iff neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.time_limit.is_none() && self.max_entailment_calls.is_none()
+    }
+}
 
 /// Which of the two checks of Algorithm 1 to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,7 +102,7 @@ impl fmt::Display for Strategy {
 
 /// A full prover configuration: which check, which synthesis strategy, the
 /// template parameters `(c, d, D)`, resolution degree and search bounds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProverConfig {
     /// Which check to run.
     pub check: CheckKind,
@@ -86,6 +134,11 @@ pub struct ProverConfig {
     /// toggled separately via
     /// `EntailmentOptions::interval_fast_path`.
     pub absint: bool,
+    /// Cooperative per-call budget (deadline and work cap); unlimited by
+    /// default.  Like `absint`, deliberately not part of
+    /// [`ProverConfig::label`]: a budget never changes *what* is computed,
+    /// only how far the computation is allowed to run.
+    pub budget: Budget,
 }
 
 impl Default for ProverConfig {
@@ -101,6 +154,7 @@ impl Default for ProverConfig {
             max_initial_configs: 6,
             divergence_probe_steps: 120,
             absint: true,
+            budget: Budget::default(),
         }
     }
 }
@@ -131,6 +185,14 @@ impl ProverConfig {
     }
 
     /// Human-readable label, e.g. `check1/houdini/(c=2,d=1,D=1)`.
+    ///
+    /// The label is a stable, parseable round-trip: for any configuration
+    /// whose non-labelled fields (search bounds, entailment budget, caps,
+    /// `absint`, [`Budget`]) are at their defaults — which is true of every
+    /// grid cell produced by [`crate::default_sweep`] —
+    /// `ProverConfig::parse_label(&config.label())` reconstructs the
+    /// configuration exactly.  This is how wire requests and sweep reports
+    /// name configurations textually.
     pub fn label(&self) -> String {
         format!(
             "{}/{}/(c={},d={},D={})",
@@ -143,6 +205,56 @@ impl ProverConfig {
             self.params.d,
             self.params.degree
         )
+    }
+
+    /// Parses a configuration label produced by [`ProverConfig::label`] back
+    /// into a configuration.
+    ///
+    /// The label encodes the check, strategy and template parameters; every
+    /// other field takes its default value.  The grammar is exactly
+    /// `<check>/<strategy>/(c=<n>,d=<n>,D=<n>)` with `<check>` one of
+    /// `check1` / `check2` and `<strategy>` one of `houdini` / `guard-prop`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadLabel`] naming the offending component when the
+    /// label does not match the grammar.
+    pub fn parse_label(label: &str) -> Result<ProverConfig, Error> {
+        let bad = |what: &str| Error::BadLabel(format!("{what} in {label:?}"));
+        let mut parts = label.splitn(3, '/');
+        let check = match parts.next() {
+            Some("check1") => CheckKind::Check1,
+            Some("check2") => CheckKind::Check2,
+            _ => return Err(bad("unknown check (want check1 or check2)")),
+        };
+        let strategy = match parts.next() {
+            Some("houdini") => Strategy::Houdini,
+            Some("guard-prop") => Strategy::GuardPropagation,
+            _ => return Err(bad("unknown strategy (want houdini or guard-prop)")),
+        };
+        let params = parts.next().ok_or_else(|| bad("missing template parameters"))?;
+        let inner = params
+            .strip_prefix("(c=")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .ok_or_else(|| bad("template parameters must look like (c=N,d=N,D=N)"))?;
+        let mut fields = inner.splitn(3, ',');
+        let c: usize =
+            fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("bad c parameter"))?;
+        let d: usize = fields
+            .next()
+            .and_then(|v| v.strip_prefix("d="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("bad d parameter"))?;
+        let degree: u32 = fields
+            .next()
+            .and_then(|v| v.strip_prefix("D="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("bad D parameter"))?;
+        Ok(ProverConfig::builder()
+            .check(check)
+            .strategy(strategy)
+            .params(TemplateParams::new(c, d, degree))
+            .build())
     }
 }
 
@@ -231,6 +343,18 @@ impl ProverConfigBuilder {
         self
     }
 
+    /// Cooperative per-call budget (deadline and work cap); see [`Budget`].
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Wall-clock limit shorthand for [`ProverConfigBuilder::budget`].
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.config.budget.time_limit = Some(limit);
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> ProverConfig {
         self.config
@@ -275,6 +399,55 @@ mod tests {
         // Deliberately not part of the label: results are identical either
         // way, so the knob must not split sweep reports into new cells.
         assert_eq!(off.label(), on.label());
+    }
+
+    #[test]
+    fn parse_label_round_trips_the_degree1_grid() {
+        // Every grid cell uses default non-labelled fields, so the label is
+        // a faithful round-trip of the whole configuration.
+        for config in crate::sweep::default_sweep() {
+            let parsed = ProverConfig::parse_label(&config.label())
+                .unwrap_or_else(|e| panic!("label {:?} failed to parse: {e}", config.label()));
+            assert_eq!(parsed, config, "round-trip mismatch for {:?}", config.label());
+            assert_eq!(parsed.label(), config.label());
+        }
+    }
+
+    #[test]
+    fn parse_label_rejects_malformed_labels() {
+        for bad in [
+            "",
+            "check3/houdini/(c=1,d=1,D=1)",
+            "check1/z3/(c=1,d=1,D=1)",
+            "check1/houdini",
+            "check1/houdini/(c=1,d=1)",
+            "check1/houdini/(c=x,d=1,D=1)",
+            "check1/houdini/(c=1,d=1,D=1",
+            "check1/houdini/c=1,d=1,D=1",
+        ] {
+            let err = ProverConfig::parse_label(bad).expect_err(bad);
+            assert!(matches!(err, crate::Error::BadLabel(_)), "{bad}: {err}");
+            // The message names the offending label for diagnosability.
+            assert!(err.to_string().contains(bad) || !bad.is_empty());
+        }
+    }
+
+    #[test]
+    fn budget_defaults_to_unlimited_and_stays_out_of_the_label() {
+        let config = ProverConfig::default();
+        assert!(config.budget.is_unlimited());
+        let limited =
+            ProverConfig::builder().time_limit(std::time::Duration::from_millis(5)).build();
+        assert!(!limited.budget.is_unlimited());
+        assert_eq!(limited.label(), config.label());
+        let capped = ProverConfig::builder()
+            .budget(Budget { max_entailment_calls: Some(100), ..Budget::unlimited() })
+            .build();
+        assert_eq!(capped.budget.max_entailment_calls, Some(100));
+        assert_eq!(
+            Budget::with_time_limit(std::time::Duration::from_secs(1)).time_limit,
+            Some(std::time::Duration::from_secs(1))
+        );
     }
 
     #[test]

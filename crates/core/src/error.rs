@@ -1,0 +1,154 @@
+//! The typed error API of the prover.
+//!
+//! Every fallible entry point of the crate returns [`enum@Error`] instead of
+//! bare `String`s, so callers — the CLI's exit-code mapping and the
+//! `revterm-serve` wire layer in particular — can distinguish error classes
+//! without parsing messages.  The variants deliberately mirror the stages a
+//! request can fail in: reading the program ([`Error::Parse`]), lowering and
+//! analysing it ([`Error::Analysis`]), running the prover
+//! ([`Error::Timeout`], [`Error::NoConfigs`]) and talking to the daemon
+//! ([`Error::Protocol`], [`Error::Io`]).
+
+use std::fmt;
+
+/// Everything that can go wrong between a source program and a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The program text could not be lexed or parsed.
+    Parse(String),
+    /// The program parsed but failed semantic analysis or lowering to a
+    /// transition system (e.g. a non-deterministic loop guard).
+    Analysis(String),
+    /// A prove request carried an empty configuration list.
+    NoConfigs,
+    /// A cooperative budget (deadline or work limit) expired before the
+    /// prover finished; see `ProverConfig::budget`.
+    Timeout,
+    /// A configuration label did not round-trip through
+    /// `ProverConfig::parse_label`.
+    BadLabel(String),
+    /// A malformed wire request or response (unknown version, missing field,
+    /// invalid JSON); used by the `revterm-serve` protocol layer.
+    Protocol(String),
+    /// An I/O failure (file read, socket) wrapped with context.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            Error::NoConfigs => write!(f, "no configurations to run"),
+            Error::Timeout => write!(f, "budget exhausted before the prover finished"),
+            Error::BadLabel(msg) => write!(f, "bad configuration label: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e.to_string())
+    }
+}
+
+impl Error {
+    /// A short machine-readable code, stable across releases; the wire
+    /// protocol reports this next to the human-readable message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Analysis(_) => "analysis",
+            Error::NoConfigs => "no-configs",
+            Error::Timeout => "timeout",
+            Error::BadLabel(_) => "bad-label",
+            Error::Protocol(_) => "protocol",
+            Error::Io(_) => "io",
+        }
+    }
+
+    /// The raw message payload — the part [`Error::from_code`] needs to
+    /// rebuild the variant.  Unlike `to_string`, this carries no
+    /// variant-naming prefix, so `from_code(code(), message())` is the
+    /// identity (the wire layer relies on this).
+    pub fn message(&self) -> String {
+        match self {
+            Error::Parse(msg)
+            | Error::Analysis(msg)
+            | Error::BadLabel(msg)
+            | Error::Protocol(msg)
+            | Error::Io(msg) => msg.clone(),
+            Error::NoConfigs | Error::Timeout => self.to_string(),
+        }
+    }
+
+    /// Rebuilds an error from its wire form (`code` + message).  Unknown
+    /// codes map to [`Error::Protocol`] so a newer server cannot crash an
+    /// older client.
+    pub fn from_code(code: &str, message: &str) -> Error {
+        match code {
+            "parse" => Error::Parse(message.to_string()),
+            "analysis" => Error::Analysis(message.to_string()),
+            "no-configs" => Error::NoConfigs,
+            "timeout" => Error::Timeout,
+            "bad-label" => Error::BadLabel(message.to_string()),
+            "io" => Error::Io(message.to_string()),
+            _ => Error::Protocol(message.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_codes_are_stable() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::Parse("x".into()), "parse"),
+            (Error::Analysis("y".into()), "analysis"),
+            (Error::NoConfigs, "no-configs"),
+            (Error::Timeout, "timeout"),
+            (Error::BadLabel("z".into()), "bad-label"),
+            (Error::Protocol("p".into()), "protocol"),
+            (Error::Io("q".into()), "io"),
+        ];
+        for (err, code) in &cases {
+            assert_eq!(err.code(), *code);
+            assert!(!err.to_string().is_empty());
+            // The std Error impl is object-safe and usable.
+            let boxed: Box<dyn std::error::Error> = Box::new(err.clone());
+            assert_eq!(boxed.to_string(), err.to_string());
+        }
+    }
+
+    #[test]
+    fn from_code_round_trips_every_variant() {
+        let cases = vec![
+            Error::Parse("bad token".into()),
+            Error::Analysis("ndet guard".into()),
+            Error::NoConfigs,
+            Error::Timeout,
+            Error::BadLabel("nope".into()),
+            Error::Protocol("bad json".into()),
+            Error::Io("refused".into()),
+        ];
+        for err in cases {
+            let msg = match &err {
+                Error::Parse(m)
+                | Error::Analysis(m)
+                | Error::BadLabel(m)
+                | Error::Protocol(m)
+                | Error::Io(m) => m.clone(),
+                _ => String::new(),
+            };
+            assert_eq!(Error::from_code(err.code(), &msg), err);
+        }
+        // Unknown codes degrade to Protocol instead of panicking.
+        assert_eq!(Error::from_code("???", "m"), Error::Protocol("m".into()));
+    }
+}

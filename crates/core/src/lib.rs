@@ -76,21 +76,25 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 mod certificate;
 mod check1;
 mod check2;
 mod config;
+mod error;
 mod prover;
 mod session;
 mod sweep;
 
+pub use api::{analysis_report, certificate_digest, lower_source, outcome_digest, program_hash};
 pub use certificate::{
     validate_certificate, CertificateError, Check1Certificate, Check2Certificate,
     NonTerminationCertificate,
 };
 pub use check1::check1;
 pub use check2::check2;
-pub use config::{CheckKind, ProverConfig, ProverConfigBuilder, Strategy};
+pub use config::{Budget, CheckKind, ProverConfig, ProverConfigBuilder, Strategy};
+pub use error::Error;
 pub use prover::{prove, prove_program, prove_with_configs, ProofResult, Verdict};
 pub use revterm_absint::{AbstractState, Diagnostics};
 pub use session::{ProveStats, ProverSession, SessionStats, NO_CONFIGS_LABEL};

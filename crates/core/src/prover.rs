@@ -8,7 +8,8 @@
 use crate::certificate::{validate_certificate, NonTerminationCertificate};
 use crate::check1::check1_cached;
 use crate::check2::check2_cached;
-use crate::config::{CheckKind, ProverConfig};
+use crate::config::{Budget, CheckKind, ProverConfig};
+use crate::error::Error;
 use crate::session::{Caches, ProveStats, ProverSession};
 use revterm_lang::Program;
 use revterm_ts::{lower, TransitionSystem};
@@ -23,6 +24,51 @@ pub enum Verdict {
     /// (the program may still be non-terminating — the algorithm is sound,
     /// not complete).
     Unknown,
+    /// The configuration's cooperative [`Budget`] expired before the search
+    /// finished.  Unlike [`Verdict::Unknown`] this does *not* mean the
+    /// configuration was exhausted — re-running with a larger budget may
+    /// still prove non-termination.  The interruption happens only at
+    /// candidate boundaries, so the session that produced this verdict is
+    /// never left with partially computed cache entries.
+    Timeout,
+}
+
+/// Sentinel returned by the cached checks when the budget guard fires.
+pub(crate) struct TimedOut;
+
+/// An armed [`Budget`]: the wall-clock deadline (fixed when the `prove` call
+/// starts) and the absolute entailment-lookup count at which to stop.
+pub(crate) struct BudgetGuard {
+    deadline: Option<Instant>,
+    entail_stop: Option<u64>,
+}
+
+impl BudgetGuard {
+    /// Arms a budget at call start.  `entail_lookups_now` is the session's
+    /// current entailment-lookup counter, so the work cap counts only this
+    /// call's queries.
+    pub(crate) fn arm(budget: &Budget, entail_lookups_now: u64) -> BudgetGuard {
+        BudgetGuard {
+            deadline: budget.time_limit.map(|limit| Instant::now() + limit),
+            entail_stop: budget.max_entailment_calls.map(|cap| entail_lookups_now + cap),
+        }
+    }
+
+    /// Returns `true` iff a limit has expired.  Called between candidates
+    /// and before synthesis — never inside a memoized computation.
+    pub(crate) fn exhausted(&self, entail_lookups_now: u64) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        if let Some(stop) = self.entail_stop {
+            if entail_lookups_now >= stop {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// The result of a prover run: the verdict plus timing and per-stage
@@ -47,11 +93,16 @@ impl ProofResult {
         matches!(self.verdict, Verdict::NonTerminating(_))
     }
 
+    /// Returns `true` iff the run was cut short by its [`Budget`].
+    pub fn timed_out(&self) -> bool {
+        matches!(self.verdict, Verdict::Timeout)
+    }
+
     /// The certificate, if non-termination was proved.
     pub fn certificate(&self) -> Option<&NonTerminationCertificate> {
         match &self.verdict {
             Verdict::NonTerminating(c) => Some(c),
-            Verdict::Unknown => None,
+            Verdict::Unknown | Verdict::Timeout => None,
         }
     }
 }
@@ -68,16 +119,18 @@ pub(crate) fn prove_cached(
     let mut stats = ProveStats::default();
     let (lookups_before, hits_before) = (caches.entail.lookups, caches.entail.hits);
     let lp_before = caches.lp_basis.stats;
+    let guard = BudgetGuard::arm(&config.budget, lookups_before);
     let candidate = match config.check {
-        CheckKind::Check1 => check1_cached(ts, config, caches, &mut stats),
-        CheckKind::Check2 => check2_cached(ts, config, caches, &mut stats),
+        CheckKind::Check1 => check1_cached(ts, config, caches, &mut stats, &guard),
+        CheckKind::Check2 => check2_cached(ts, config, caches, &mut stats, &guard),
     };
     let verdict = match candidate {
-        Some(cert) => match validate_certificate(ts, &cert, &config.entailment) {
+        Ok(Some(cert)) => match validate_certificate(ts, &cert, &config.entailment) {
             Ok(()) => Verdict::NonTerminating(Box::new(cert)),
             Err(_) => Verdict::Unknown,
         },
-        None => Verdict::Unknown,
+        Ok(None) => Verdict::Unknown,
+        Err(TimedOut) => Verdict::Timeout,
     };
     stats.entailment_calls = caches.entail.lookups - lookups_before;
     stats.entailment_cache_hits = caches.entail.hits - hits_before;
@@ -116,9 +169,9 @@ pub fn prove_with_configs(ts: &TransitionSystem, configs: &[ProverConfig]) -> Pr
 ///
 /// # Errors
 ///
-/// Returns the lowering error message if the program cannot be translated.
-pub fn prove_program(program: &Program, config: &ProverConfig) -> Result<ProofResult, String> {
-    let ts = lower(program).map_err(|e| e.to_string())?;
+/// Returns [`Error::Analysis`] if the program cannot be translated.
+pub fn prove_program(program: &Program, config: &ProverConfig) -> Result<ProofResult, Error> {
+    let ts = lower(program).map_err(|e| Error::Analysis(e.to_string()))?;
     Ok(prove(&ts, config))
 }
 

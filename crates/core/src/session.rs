@@ -291,6 +291,21 @@ pub struct ProverSession {
     stats: SessionStats,
 }
 
+/// Clamps a configuration's budget to the time remaining until `deadline`
+/// (identity when `deadline` is `None`).  The budget is excluded from
+/// [`ProverConfig::label`] and from every cache key, so clamping changes
+/// *when* a run is cut short but never *what* any completed run computes.
+fn clamp_to_deadline(config: &ProverConfig, deadline: Option<std::time::Instant>) -> ProverConfig {
+    let Some(deadline) = deadline else { return config.clone() };
+    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+    let mut clamped = config.clone();
+    clamped.budget.time_limit = Some(match clamped.budget.time_limit {
+        Some(own) => own.min(remaining),
+        None => remaining,
+    });
+    clamped
+}
+
 impl ProverSession {
     /// Opens a session on a transition system.
     pub fn new(ts: TransitionSystem) -> ProverSession {
@@ -301,11 +316,24 @@ impl ProverSession {
     ///
     /// # Errors
     ///
-    /// Returns the lowering error message if the program cannot be
+    /// Returns [`crate::Error::Analysis`] if the program cannot be
     /// translated.
-    pub fn from_program(program: &Program) -> Result<ProverSession, String> {
-        let ts = lower(program).map_err(|e| e.to_string())?;
+    pub fn from_program(program: &Program) -> Result<ProverSession, crate::Error> {
+        let ts = lower(program).map_err(|e| crate::Error::Analysis(e.to_string()))?;
         Ok(ProverSession::new(ts))
+    }
+
+    /// Opens a session straight from program text (parse + analyse + lower).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Parse`] for lexical/syntactic/semantic
+    /// problems in the text and [`crate::Error::Analysis`] for lowering
+    /// failures — the same split the CLI exit codes and the wire protocol
+    /// report.
+    pub fn from_source(source: &str) -> Result<ProverSession, crate::Error> {
+        let program = revterm_lang::parse_program(source).map_err(crate::Error::Parse)?;
+        ProverSession::from_program(&program)
     }
 
     /// The transition system this session proves facts about.
@@ -364,19 +392,46 @@ impl ProverSession {
     /// The sessioned equivalent of [`crate::prove_with_configs`].  If no
     /// configuration succeeds the verdict is `Unknown` with the label of the
     /// **empty** sweep documented on [`NO_CONFIGS_LABEL`] when `configs` is
-    /// empty, or `"none"` when configurations ran but all failed.
+    /// empty, or `"none"` when configurations ran but all failed.  If no
+    /// configuration succeeds but at least one was cut short by its
+    /// [`crate::Budget`], the verdict is [`crate::Verdict::Timeout`] (the
+    /// search was not exhausted, so `Unknown` would overclaim).
     pub fn prove_first(&mut self, configs: &[ProverConfig]) -> ProofResult {
+        self.prove_first_with_deadline(configs, None)
+    }
+
+    /// [`ProverSession::prove_first`] under a whole-request deadline.
+    ///
+    /// Before each configuration runs, its [`crate::Budget`] time limit is
+    /// clamped to the time remaining until `deadline`; a configuration whose
+    /// turn comes after the deadline has passed reports
+    /// [`crate::Verdict::Timeout`] at its first candidate boundary without
+    /// doing real work.  With `deadline: None` this is *exactly*
+    /// [`ProverSession::prove_first`] — the `revterm-serve` daemon routes
+    /// every prove request through here, which is what makes daemon verdicts
+    /// bitwise-identical to in-process ones when no deadline is given.
+    pub fn prove_first_with_deadline(
+        &mut self,
+        configs: &[ProverConfig],
+        deadline: Option<std::time::Instant>,
+    ) -> ProofResult {
         let start = std::time::Instant::now();
         let mut stats = ProveStats::default();
+        let mut any_timeout = false;
         for config in configs {
-            let result = self.prove(config);
+            let result = self.prove(&clamp_to_deadline(config, deadline));
             stats.accumulate(&result.stats);
+            any_timeout |= result.timed_out();
             if result.is_non_terminating() {
                 return ProofResult { elapsed: start.elapsed(), stats, ..result };
             }
         }
         ProofResult {
-            verdict: crate::prover::Verdict::Unknown,
+            verdict: if any_timeout {
+                crate::prover::Verdict::Timeout
+            } else {
+                crate::prover::Verdict::Unknown
+            },
             elapsed: start.elapsed(),
             config_label: if configs.is_empty() {
                 NO_CONFIGS_LABEL.to_string()
@@ -395,10 +450,24 @@ impl ProverSession {
     /// verdicts are identical to fresh runs, but shared artifacts are
     /// computed once across the whole grid.
     pub fn sweep(&mut self, configs: &[ProverConfig], stop_after_success: usize) -> SweepReport {
+        self.sweep_with_deadline(configs, stop_after_success, None)
+    }
+
+    /// [`ProverSession::sweep`] under a whole-request deadline (see
+    /// [`ProverSession::prove_first_with_deadline`] for the clamping rule).
+    /// Configurations whose turn comes after the deadline are recorded with
+    /// [`ConfigOutcome::timed_out`] set rather than silently dropped, so a
+    /// cut-short sweep is distinguishable from an exhausted one.
+    pub fn sweep_with_deadline(
+        &mut self,
+        configs: &[ProverConfig],
+        stop_after_success: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> SweepReport {
         let mut report = SweepReport::default();
         let mut successes = 0usize;
         for config in configs {
-            let result = self.prove(config);
+            let result = self.prove(&clamp_to_deadline(config, deadline));
             let proved = result.is_non_terminating();
             report.outcomes.push(ConfigOutcome {
                 label: config.label(),
@@ -406,6 +475,7 @@ impl ProverSession {
                 strategy: config.strategy,
                 params: config.params,
                 proved,
+                timed_out: result.timed_out(),
                 elapsed: result.elapsed,
                 stats: result.stats,
             });
@@ -490,6 +560,54 @@ mod tests {
         let failed = session2.prove_first(&[ProverConfig::default()]);
         assert!(!failed.is_non_terminating());
         assert_eq!(failed.config_label, "none");
+    }
+
+    #[test]
+    fn zero_deadline_yields_timeout_and_never_poisons_the_session() {
+        let mut session = ProverSession::from_source(RUNNING).unwrap();
+        let strict = ProverConfig::builder().time_limit(std::time::Duration::ZERO).build();
+        let cut = session.prove(&strict);
+        assert!(matches!(cut.verdict, crate::Verdict::Timeout));
+        assert!(cut.timed_out());
+        assert!(!cut.is_non_terminating());
+        assert!(cut.certificate().is_none());
+        // The interrupted run must not have planted partial results: the
+        // same session still reaches the same verdict as a fresh one.
+        let after = session.prove(&ProverConfig::default());
+        let fresh = ProverSession::from_source(RUNNING).unwrap().prove(&ProverConfig::default());
+        assert!(after.is_non_terminating());
+        assert_eq!(
+            crate::api::outcome_digest(&after, session.ts()),
+            crate::api::outcome_digest(&fresh, session.ts()),
+        );
+        // prove_first reports Timeout only when nothing succeeded.
+        let first = session.prove_first(&[strict.clone(), ProverConfig::default()]);
+        assert!(first.is_non_terminating());
+        let mut cold = ProverSession::from_source(RUNNING).unwrap();
+        let all_cut = cold.prove_first(&[strict]);
+        assert!(matches!(all_cut.verdict, crate::Verdict::Timeout));
+    }
+
+    #[test]
+    fn entailment_call_budget_is_a_deterministic_work_cap() {
+        // A zero-call work cap trips the first candidate boundary (the cap
+        // is cooperative, so unlike the wall clock it is exactly
+        // reproducible: the same request cuts at the same candidate on every
+        // machine).
+        let mut session = ProverSession::from_source(RUNNING).unwrap();
+        let mut capped = ProverConfig::default();
+        capped.budget.max_entailment_calls = Some(0);
+        let cut = session.prove(&capped);
+        assert!(matches!(cut.verdict, crate::Verdict::Timeout), "verdict: {:?}", cut.verdict);
+        // A generous cap does not change the verdict of a provable program.
+        let mut roomy = ProverConfig::default();
+        roomy.budget.max_entailment_calls = Some(u64::MAX);
+        let ok = session.prove(&roomy);
+        assert!(ok.is_non_terminating());
+        // Sweeps record per-configuration timeouts.
+        let report = session.sweep(std::slice::from_ref(&capped), usize::MAX);
+        assert!(report.outcomes[0].timed_out);
+        assert!(!report.outcomes[0].proved);
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct ConfigOutcome {
     pub params: TemplateParams,
     /// Whether non-termination was proved.
     pub proved: bool,
+    /// Whether the configuration's [`crate::Budget`] cut the run short (in
+    /// which case `proved` is `false` but the configuration was not
+    /// exhausted).
+    pub timed_out: bool,
     /// Wall-clock time of this configuration.
     pub elapsed: Duration,
     /// Per-stage statistics of this configuration's run (candidates tried,

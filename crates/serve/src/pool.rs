@@ -1,0 +1,194 @@
+//! The LRU session pool.
+//!
+//! Sessions are keyed by [`revterm::program_hash`] of the *lowered* system,
+//! so textually different sources that denote the same program share one
+//! warm session.  The pool hands sessions out by value
+//! ([`SessionPool::checkout`] / [`SessionPool::checkin`]): the server holds
+//! the pool mutex only for the O(capacity) bookkeeping, never while a prove
+//! runs, so one slow request cannot serialize the whole daemon.
+//!
+//! A checked-out session that is never checked back in (worker panic,
+//! dropped connection mid-prove) is simply forgotten — the next request for
+//! that program pays a cold start.  Nothing is ever half-mutated inside the
+//! pool, because budget cuts happen only between memoized computations (see
+//! the core crate's session documentation).
+
+use revterm::{lower_source, program_hash, Error, ProverSession};
+
+/// Running counters of pool behaviour, exposed by the `stats` and `metrics`
+/// wire operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served by a pooled (warm) session.
+    pub hits: u64,
+    /// Checkouts that had to build a fresh session.
+    pub misses: u64,
+    /// Sessions dropped to make room (LRU order).
+    pub evictions: u64,
+}
+
+struct PoolEntry {
+    key: u64,
+    session: ProverSession,
+    /// Logical timestamp of the last checkout/checkin (monotone counter —
+    /// no wall clock involved, so pool behaviour is deterministic under a
+    /// deterministic request order).
+    last_used: u64,
+}
+
+/// An LRU pool of prover sessions keyed by program hash.
+pub struct SessionPool {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<PoolEntry>,
+    stats: PoolStats,
+}
+
+impl SessionPool {
+    /// Creates a pool that retains at most `capacity` idle sessions
+    /// (`capacity` 0 disables pooling: every checkout is a miss).
+    pub fn new(capacity: usize) -> SessionPool {
+        SessionPool { capacity, tick: 0, entries: Vec::new(), stats: PoolStats::default() }
+    }
+
+    /// Number of idle sessions currently held.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The pool counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Parses `source` and returns `(key, session, pool_hit)` — the pooled
+    /// session for the program if one is idle, a fresh one otherwise.  The
+    /// caller runs its request against the session and returns it with
+    /// [`SessionPool::checkin`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] / [`Error::Analysis`] from lowering the source; the
+    /// pool is unchanged in that case.
+    pub fn checkout(&mut self, source: &str) -> Result<(u64, ProverSession, bool), Error> {
+        let ts = lower_source(source)?;
+        let key = program_hash(&ts);
+        self.tick += 1;
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            let entry = self.entries.swap_remove(i);
+            self.stats.hits += 1;
+            return Ok((key, entry.session, true));
+        }
+        self.stats.misses += 1;
+        Ok((key, ProverSession::new(ts), false))
+    }
+
+    /// Returns a session to the pool, evicting the least-recently-used
+    /// entry if the pool is over capacity.
+    pub fn checkin(&mut self, key: u64, session: ProverSession) {
+        self.tick += 1;
+        // A concurrent checkout/checkin of the same program can race a
+        // duplicate in; keep the newest.
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.entries.swap_remove(i);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(PoolEntry { key, session, last_used: self.tick });
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("pool over capacity implies at least one entry");
+            self.entries.swap_remove(oldest);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm::ProverConfig;
+
+    const A: &str = "while x >= 0 do x := x + 1; od";
+    const B: &str = "while y >= 1 do y := 2 * y; od";
+    const C: &str = "while true do skip; od";
+
+    #[test]
+    fn checkout_checkin_hits_on_the_second_request() {
+        let mut pool = SessionPool::new(4);
+        let (key, session, hit) = pool.checkout(A).unwrap();
+        assert!(!hit);
+        pool.checkin(key, session);
+        assert_eq!(pool.occupancy(), 1);
+        let (key2, session2, hit2) = pool.checkout(A).unwrap();
+        assert_eq!(key, key2);
+        assert!(hit2);
+        assert_eq!(pool.occupancy(), 0, "checkout removes the entry");
+        pool.checkin(key2, session2);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn pooled_sessions_keep_their_warm_caches() {
+        let mut pool = SessionPool::new(2);
+        let (key, mut session, _) = pool.checkout(A).unwrap();
+        let cold = session.prove(&ProverConfig::default());
+        assert!(cold.is_non_terminating());
+        pool.checkin(key, session);
+        let (key, mut session, hit) = pool.checkout(A).unwrap();
+        assert!(hit);
+        let warm = session.prove(&ProverConfig::default());
+        assert!(warm.is_non_terminating());
+        assert!(
+            warm.stats.total_cache_hits() > cold.stats.total_cache_hits(),
+            "warm: {:?}, cold: {:?}",
+            warm.stats,
+            cold.stats
+        );
+        pool.checkin(key, session);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_least_recently_used_entry() {
+        let mut pool = SessionPool::new(2);
+        for src in [A, B] {
+            let (k, s, _) = pool.checkout(src).unwrap();
+            pool.checkin(k, s);
+        }
+        // Touch A so B is the LRU entry, then admit C.
+        let (k, s, hit) = pool.checkout(A).unwrap();
+        assert!(hit);
+        pool.checkin(k, s);
+        let (k, s, _) = pool.checkout(C).unwrap();
+        pool.checkin(k, s);
+        assert_eq!(pool.occupancy(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        assert!(pool.checkout(A).unwrap().2, "A must have survived");
+        assert!(!pool.checkout(B).unwrap().2, "B must have been evicted");
+    }
+
+    #[test]
+    fn equivalent_sources_share_a_session_and_bad_sources_leave_the_pool_alone() {
+        let mut pool = SessionPool::new(2);
+        let (k, s, _) = pool.checkout("while x >= 0 do x := x + 1; od").unwrap();
+        pool.checkin(k, s);
+        // Whitespace-different source lowers to the same system.
+        let (_, _, hit) = pool.checkout("while x >= 0 do  x := x + 1;  od").unwrap();
+        assert!(hit);
+        assert!(matches!(pool.checkout("while x >="), Err(Error::Parse(_))));
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_pooling() {
+        let mut pool = SessionPool::new(0);
+        let (k, s, _) = pool.checkout(A).unwrap();
+        pool.checkin(k, s);
+        assert_eq!(pool.occupancy(), 0);
+        assert!(!pool.checkout(A).unwrap().2);
+    }
+}

@@ -18,7 +18,7 @@ use revterm_poly::{Poly, Var};
 use std::fmt;
 
 /// A conjunction of polynomial inequalities `p ≥ 0`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Assertion {
     atoms: Vec<Poly>,
 }

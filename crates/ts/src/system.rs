@@ -22,7 +22,7 @@ impl fmt::Display for Loc {
 /// checking.  The kind is redundant metadata that allows the concrete
 /// interpreter, the resolution of non-determinism and the baseline provers to
 /// execute transitions directly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TransitionKind {
     /// A pure guard: program variables are unchanged.
     Guard,
@@ -46,7 +46,7 @@ pub enum TransitionKind {
 }
 
 /// A transition `(source, target, relation)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Transition {
     /// Identifier (index into the transition table of the owning system).
     pub id: usize,
@@ -71,7 +71,7 @@ impl Transition {
 
 /// A transition system `T = (L, V, ℓ_init, Θ_init, →)` with a dedicated
 /// terminal location `ℓ_out` carrying a self-loop (Definition 2.2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransitionSystem {
     vars: VarTable,
     loc_names: Vec<String>,

@@ -13,7 +13,7 @@ use std::fmt;
 /// * `Var(n + i)` is its **primed** counterpart (target-state value),
 /// * indices `>= 2n` are free for callers (e.g. template coefficients in the
 ///   invariant-generation layer).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VarTable {
     names: Vec<String>,
 }

@@ -1,0 +1,56 @@
+//! Prover-as-a-service: spin up an in-process `revterm-serve` daemon, drive
+//! it through the wire client, and watch the session pool turn the second
+//! request into a warm-cache hit — with the verdict digest bitwise-identical
+//! to an in-process run of the same request.
+//!
+//! ```text
+//! cargo run -p revterm-examples --example serve_demo
+//! ```
+
+use revterm::api::outcome_digest;
+use revterm::{quick_sweep, ProverSession};
+use revterm_serve::{serve, Client, ServeConfig};
+
+fn main() {
+    let source = "while x >= 9 do x := ndet(); y := 10 * x; while x <= y do x := x + 1; od od";
+    println!("program:\n{source}\n");
+
+    // An ephemeral port on loopback; `serve` returns once the listener is up.
+    let handle = serve(&ServeConfig::default()).expect("daemon starts");
+    println!("daemon listening on {}", handle.addr());
+
+    // The determinism contract, checked live: the daemon's verdict digest
+    // equals the digest of an in-process run of the same request.
+    let mut session = ProverSession::from_source(source).expect("program parses");
+    let expected = session.prove_first(&quick_sweep());
+    let expected_digest = outcome_digest(&expected, session.ts());
+
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    for round in ["cold", "warm"] {
+        let (outcome, pool_hit) =
+            client.prove(source, quick_sweep(), None).expect("prove succeeds");
+        println!(
+            "\n{round} request: {} by {} in {} us",
+            outcome.verdict, outcome.label, outcome.elapsed_us
+        );
+        println!("  pool hit:          {pool_hit}");
+        println!("  warm cache hits:   {}", outcome.stats.total_cache_hits());
+        println!("  digest:            {:016x}", outcome.digest);
+        assert_eq!(
+            outcome.digest, expected_digest,
+            "daemon and in-process verdicts must be bitwise-identical"
+        );
+    }
+
+    // A deadline of zero degrades to a structured timeout — no error, no
+    // poisoned session: the next request still proves.
+    let (cut, _) = client.prove(source, quick_sweep(), Some(0)).expect("request survives");
+    println!("\nzero-deadline request: {} (structured, daemon healthy)", cut.verdict);
+
+    let metrics = client.metrics().expect("metrics");
+    println!("\nmetrics: {metrics}");
+
+    client.shutdown().expect("shutdown acknowledged");
+    handle.join();
+    println!("\ndaemon stopped");
+}

@@ -69,6 +69,17 @@ if $run_bench_smoke; then
     echo "==> bench smoke (num_profile 30)"
     cargo run --release -q -p revterm-bench --bin num_profile 30 \
         | tee target/ci-artifacts/num-profile.json
+
+    # Serve smoke: an in-process revterm-serve daemon on an ephemeral port,
+    # driven through the wire client. Proves the service contract on every
+    # CI run: daemon verdicts digest-identical to in-process runs, repeated
+    # requests served by pooled warm sessions (fails on zero pool hits), a
+    # zero deadline degrading to a structured timeout with the daemon still
+    # healthy, and sweep/analyze/metrics/shutdown flowing over the protocol.
+    # Leaves a JSON latency artifact next to the other smoke outputs.
+    echo "==> serve smoke (serve_smoke)"
+    cargo run --release -q -p revterm-bench --bin serve_smoke \
+        | tee target/ci-artifacts/serve-smoke.json
 fi
 
 echo "==> CI gate passed"
