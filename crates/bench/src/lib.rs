@@ -14,12 +14,12 @@
 //! the prover's internal budgets, so absolute counts and times differ while
 //! the comparison structure is preserved (see `EXPERIMENTS.md`).
 //!
-//! # Perf-harness JSON schemas
+//! # Harness JSON schemas
 //!
-//! Besides the table bins, three harness bins print machine-readable JSON so
-//! that perf trajectories can be compared across commits without reading the
-//! binaries. Both exit non-zero on any equivalence failure, so a CI-green
-//! run certifies every digest comparison below.
+//! Besides the table bins, four harness bins print machine-readable JSON so
+//! that perf and correctness trajectories can be compared across commits
+//! without reading the binaries. All exit non-zero on any equivalence
+//! failure, so a CI-green run certifies every comparison below.
 //!
 //! ## `num_profile` (one JSON object per run)
 //!
@@ -102,6 +102,33 @@
 //! | `pool_hits` | session-pool hits reported by the daemon's metrics (exit 1 when 0) |
 //! | `timeout_structured` | a zero deadline produced a `timeout` verdict, not an error |
 //! | `verdicts_match` | daemon vs in-process digest agreement (exit 1 when false) |
+//!
+//! ## `fuzz_drive` (one JSON object per run)
+//!
+//! Differential fuzzing: a seeded batch of labelled random programs
+//! ([`revterm_fuzzgen::generate_batch`]) each run through the four-oracle
+//! harness ([`revterm_fuzzgen::differential`]) — baseline claim table,
+//! independent certificate validation, absint on/off digests, and the three
+//! LP engines. Any failing program is minimized in-process by the fuzzgen
+//! shrinker and embedded in the JSON (and written to `--harvest DIR` as a
+//! repro file for `tests/fuzz_regressions/`). Exits non-zero on any oracle
+//! failure or missing known-label coverage.
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `count` | programs generated and driven through the harness |
+//! | `seed` | master seed of the batch (full provenance with the default [`revterm_fuzzgen::GenConfig`]) |
+//! | `inject_flip` | whether the verdict-flip fault injection was on (harness self-test; CI runs with it off) |
+//! | `passed` | no oracle failures and coverage held (the process exit status) |
+//! | `coverage_ok` | both known labels generated and at least one labelled-NT program proved |
+//! | `labels` | programs per known-by-construction label |
+//! | `families` | programs per generator family |
+//! | `proved_nontermination` | programs the portfolio proved non-terminating |
+//! | `label_nt_proved` | of those, programs whose label was already `non-terminating` |
+//! | `timeouts` | primary runs cut short by the portfolio budget (digest axes skipped there) |
+//! | `failure_counts` | oracle failures by kind (`verdict-mismatch` / `invalid-certificate` / `digest-divergence`) |
+//! | `failing` | per-failure records: seed, family, label, failure details, shrunk repro source |
+//! | `elapsed_ms` | wall-clock for the whole batch |
 
 use revterm::{ProverConfig, SweepReport};
 use revterm_baselines::{BaselineProver, BaselineVerdict, RankingProver};

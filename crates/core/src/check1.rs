@@ -9,7 +9,7 @@ use crate::certificate::{Check1Certificate, NonTerminationCertificate};
 use crate::config::{ProverConfig, Strategy};
 use crate::prover::{BudgetGuard, TimedOut};
 use crate::session::{memo, Caches, ProveStats, RestrictedEntry};
-use revterm_invgen::{synthesize_invariant_cached, SampleSet, SynthesisOptions, TemplateParams};
+use revterm_invgen::{synthesize_invariant_budgeted, SampleSet, SynthesisOptions, TemplateParams};
 use revterm_poly::Poly;
 use revterm_safety::{find_initial_valuations, ndet_candidate_values};
 use revterm_ts::interp::{run, Config, Valuation};
@@ -190,30 +190,35 @@ pub(crate) fn check1_cached(
                 (initial.clone(), config.divergence_probe_steps),
                 (options.params, options.entailment.clone()),
             );
-            let invariant = memo(
-                invariants,
-                synth_key,
-                &mut stats.artifact_cache_hits,
-                &mut stats.artifact_cache_misses,
-                || {
-                    // Samples: everything the probe visited belongs to the
-                    // set the invariant must contain.
-                    let mut samples = SampleSet::new();
-                    for cfg in trace.iter() {
-                        samples.add(cfg.loc, cfg.vals.clone());
-                    }
-                    stats.synthesis_calls += 1;
-                    synthesize_invariant_cached(
-                        restricted_system,
-                        &samples,
-                        &options,
-                        pool,
-                        entail,
-                        lp_basis,
-                    )
-                },
-            )
-            .clone();
+            // Not expressed via `memo`: a budget-cut synthesis is not a
+            // fixpoint and must not be cached (a later retry with a larger
+            // budget would otherwise be served the truncated result).
+            let invariant = if let Some(map) = invariants.get(&synth_key) {
+                stats.artifact_cache_hits += 1;
+                map.clone()
+            } else {
+                // Samples: everything the probe visited belongs to the set
+                // the invariant must contain.
+                let mut samples = SampleSet::new();
+                for cfg in trace.iter() {
+                    samples.add(cfg.loc, cfg.vals.clone());
+                }
+                stats.synthesis_calls += 1;
+                let Some(map) = synthesize_invariant_budgeted(
+                    restricted_system,
+                    &samples,
+                    &options,
+                    pool,
+                    entail,
+                    lp_basis,
+                    &guard.synthesis_budget(),
+                ) else {
+                    return Err(TimedOut);
+                };
+                stats.artifact_cache_misses += 1;
+                invariants.insert(synth_key, map.clone());
+                map
+            };
 
             // Success condition: every transition into ℓ_out is blocked.
             // A closure contradiction is a Farkas derivation of `-1 ≥ 0`

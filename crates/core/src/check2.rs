@@ -18,7 +18,7 @@ use crate::prover::{BudgetGuard, TimedOut};
 use crate::session::{
     memo, reversed_entry_for, Caches, ProveStats, RestrictedEntry, ReversedEntry,
 };
-use revterm_invgen::{synthesize_invariant_cached, SampleSet};
+use revterm_invgen::{synthesize_invariant_budgeted, SampleSet};
 use revterm_safety::{find_path_to, reachable_samples};
 use revterm_ts::interp::{run, Config};
 use revterm_ts::{Assertion, TransitionSystem};
@@ -69,33 +69,36 @@ pub(crate) fn check2_cached(
 
     let tilde_options = synthesis_options(config, None, true);
     let tilde_key = (tilde_options.params, config.entailment.clone(), config.search.clone());
-    let (tilde_map, theta) = memo(
-        tilde,
-        tilde_key,
-        &mut stats.artifact_cache_hits,
-        &mut stats.artifact_cache_misses,
-        || {
-            let mut sample_set = SampleSet::new();
-            for cfg in fwd.iter() {
-                sample_set.add(cfg.loc, cfg.vals.clone());
-            }
-            stats.synthesis_calls += 1;
-            let map = synthesize_invariant_cached(
-                ts,
-                &sample_set,
-                &tilde_options,
-                base_pool,
-                entail,
-                lp_basis,
-            );
-            let theta: Assertion = match map.at(ts.terminal_loc()).disjuncts() {
-                [single] => single.clone(),
-                _ => Assertion::tautology(),
-            };
-            (map, theta)
-        },
-    )
-    .clone();
+    // Not expressed via `memo`: a budget-cut synthesis is not a fixpoint and
+    // must not be cached (same rule as Check 1's invariant table).
+    let (tilde_map, theta) = if let Some(cached) = tilde.get(&tilde_key) {
+        stats.artifact_cache_hits += 1;
+        cached.clone()
+    } else {
+        let mut sample_set = SampleSet::new();
+        for cfg in fwd.iter() {
+            sample_set.add(cfg.loc, cfg.vals.clone());
+        }
+        stats.synthesis_calls += 1;
+        let Some(map) = synthesize_invariant_budgeted(
+            ts,
+            &sample_set,
+            &tilde_options,
+            base_pool,
+            entail,
+            lp_basis,
+            &guard.synthesis_budget(),
+        ) else {
+            return Err(TimedOut);
+        };
+        let theta: Assertion = match map.at(ts.terminal_loc()).disjuncts() {
+            [single] => single.clone(),
+            _ => Assertion::tautology(),
+        };
+        stats.artifact_cache_misses += 1;
+        tilde.insert(tilde_key, (map.clone(), theta.clone()));
+        (map, theta)
+    };
 
     // Step 2: per candidate resolution, synthesize a backward invariant of
     // the reversed restricted system and query reachability of its complement.
@@ -187,24 +190,26 @@ pub(crate) fn check2_cached(
             (config.search.clone(), config.divergence_probe_steps),
             (bi_options.params, bi_options.entailment.clone()),
         );
-        let bi = memo(
-            invariants,
-            synth_key,
-            &mut stats.artifact_cache_hits,
-            &mut stats.artifact_cache_misses,
-            || {
-                stats.synthesis_calls += 1;
-                synthesize_invariant_cached(
-                    &*reversed_system,
-                    backward_samples,
-                    &bi_options,
-                    reversed_pool,
-                    entail,
-                    lp_basis,
-                )
-            },
-        )
-        .clone();
+        let bi = if let Some(cached) = invariants.get(&synth_key) {
+            stats.artifact_cache_hits += 1;
+            cached.clone()
+        } else {
+            stats.synthesis_calls += 1;
+            let Some(map) = synthesize_invariant_budgeted(
+                &*reversed_system,
+                backward_samples,
+                &bi_options,
+                reversed_pool,
+                entail,
+                lp_basis,
+                &guard.synthesis_budget(),
+            ) else {
+                return Err(TimedOut);
+            };
+            stats.artifact_cache_misses += 1;
+            invariants.insert(synth_key, map.clone());
+            map
+        };
 
         // Step 3: the safety query — is some configuration of ¬BI reachable
         // in the original system?

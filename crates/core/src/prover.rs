@@ -54,8 +54,20 @@ impl BudgetGuard {
         }
     }
 
+    /// The same limits as an invgen [`SynthesisBudget`], so one Houdini run
+    /// can stop mid-fixpoint instead of only between candidates.  A
+    /// cut-short synthesis is never memoized (the checks return `TimedOut`
+    /// without caching), keeping the sessioned-equals-fresh contract.
+    pub(crate) fn synthesis_budget(&self) -> revterm_invgen::SynthesisBudget {
+        revterm_invgen::SynthesisBudget {
+            deadline: self.deadline,
+            entail_call_stop: self.entail_stop,
+        }
+    }
+
     /// Returns `true` iff a limit has expired.  Called between candidates
-    /// and before synthesis — never inside a memoized computation.
+    /// and before synthesis; the synthesis loops themselves poll via
+    /// [`BudgetGuard::synthesis_budget`].
     pub(crate) fn exhausted(&self, entail_lookups_now: u64) -> bool {
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {

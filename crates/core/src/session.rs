@@ -403,10 +403,11 @@ impl ProverSession {
     /// [`ProverSession::prove_first`] under a whole-request deadline.
     ///
     /// Before each configuration runs, its [`crate::Budget`] time limit is
-    /// clamped to the time remaining until `deadline`; a configuration whose
-    /// turn comes after the deadline has passed reports
-    /// [`crate::Verdict::Timeout`] at its first candidate boundary without
-    /// doing real work.  With `deadline: None` this is *exactly*
+    /// clamped to the time remaining until `deadline`; configurations whose
+    /// turn comes at or after the deadline are not run at all and the result
+    /// is a structured [`crate::Verdict::Timeout`] (an already-expired
+    /// deadline therefore *always* yields `Timeout`, never a verdict
+    /// computed on zero allotted time).  With `deadline: None` this is *exactly*
     /// [`ProverSession::prove_first`] — the `revterm-serve` daemon routes
     /// every prove request through here, which is what makes daemon verdicts
     /// bitwise-identical to in-process ones when no deadline is given.
@@ -419,6 +420,14 @@ impl ProverSession {
         let mut stats = ProveStats::default();
         let mut any_timeout = false;
         for config in configs {
+            // A configuration whose turn comes at or after the deadline is
+            // not run at all: even "no real work" has unpolled setup phases
+            // that could legitimately conclude `Unknown`, and reporting
+            // `Unknown` for a search that was never given time overclaims.
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                any_timeout = true;
+                break;
+            }
             let result = self.prove(&clamp_to_deadline(config, deadline));
             stats.accumulate(&result.stats);
             any_timeout |= result.timed_out();
@@ -467,6 +476,21 @@ impl ProverSession {
         let mut report = SweepReport::default();
         let mut successes = 0usize;
         for config in configs {
+            // Same rule as `prove_first_with_deadline`: past the deadline a
+            // configuration is recorded as timed out, not actually run.
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                report.outcomes.push(ConfigOutcome {
+                    label: config.label(),
+                    check: config.check,
+                    strategy: config.strategy,
+                    params: config.params,
+                    proved: false,
+                    timed_out: true,
+                    elapsed: std::time::Duration::ZERO,
+                    stats: ProveStats::default(),
+                });
+                continue;
+            }
             let result = self.prove(&clamp_to_deadline(config, deadline));
             let proved = result.is_non_terminating();
             report.outcomes.push(ConfigOutcome {

@@ -1,0 +1,255 @@
+//! Self-describing repro files for the checked-in regression corpus.
+//!
+//! Each failing (or historically interesting) program is stored as one
+//! `.rt` file under `tests/fuzz_regressions/` in this format:
+//!
+//! ```text
+//! # revterm-fuzzgen repro v1
+//! # name: pump-monotone-basic
+//! # seed: 42
+//! # label: non-terminating
+//! # failure: verdict-mismatch
+//! # note: free-text, single line
+//! ---
+//! w0 := 0;
+//! while w0 >= 0 do
+//!     w0 := w0 + 1;
+//! od
+//! ```
+//!
+//! Header lines are `# key: value` pairs; unknown keys are preserved-ignored
+//! so the format can grow. `name`, `seed` and `label` are required. `failure`
+//! records the [`FailureKind`] that originally tripped
+//! the oracle — corpus entries that are plain behavioural pins (no bug, just
+//! a shape worth keeping) omit it. Everything after the `---` separator is
+//! program source, replayed verbatim through the differential harness by the
+//! always-on integration test.
+
+use crate::generate::KnownLabel;
+use crate::oracle::FailureKind;
+use revterm_lang::{parse_program, pretty_print, Program};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The leading magic line of every repro file.
+pub const REPRO_MAGIC: &str = "# revterm-fuzzgen repro v1";
+
+/// One parsed corpus entry.
+#[derive(Debug, Clone)]
+pub struct ReproCase {
+    /// Stable human-readable identifier (also the file stem by convention).
+    pub name: String,
+    /// Generator seed the case was harvested from (0 for hand-written).
+    pub seed: u64,
+    /// The by-construction (or post-hoc re-proved) label.
+    pub label: KnownLabel,
+    /// The oracle failure that originally produced this case, if any.
+    pub failure: Option<FailureKind>,
+    /// Free-text provenance note.
+    pub note: String,
+    /// The parsed program.
+    pub program: Program,
+}
+
+/// Why a repro file could not be loaded.
+#[derive(Debug)]
+pub enum ReproError {
+    /// The file does not start with [`REPRO_MAGIC`].
+    BadMagic,
+    /// A required header is missing or malformed.
+    BadHeader(String),
+    /// No `---` separator line.
+    MissingSeparator,
+    /// The program section failed to lex or parse.
+    Parse(String),
+    /// The file could not be read.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ReproError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReproError::BadMagic => write!(f, "missing `{REPRO_MAGIC}` magic line"),
+            ReproError::BadHeader(what) => write!(f, "bad header: {what}"),
+            ReproError::MissingSeparator => write!(f, "missing `---` separator"),
+            ReproError::Parse(e) => write!(f, "program section: {e}"),
+            ReproError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+/// Renders a case into the repro file format.
+pub fn render_repro(case: &ReproCase) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{REPRO_MAGIC}");
+    let _ = writeln!(out, "# name: {}", case.name);
+    let _ = writeln!(out, "# seed: {}", case.seed);
+    let _ = writeln!(out, "# label: {}", case.label);
+    if let Some(kind) = case.failure {
+        let _ = writeln!(out, "# failure: {kind}");
+    }
+    if !case.note.is_empty() {
+        let _ = writeln!(out, "# note: {}", case.note);
+    }
+    let _ = writeln!(out, "---");
+    out.push_str(&pretty_print(&case.program));
+    out
+}
+
+/// Parses the repro file format.
+///
+/// # Errors
+///
+/// Returns a [`ReproError`] describing the first malformed element.
+pub fn parse_repro(text: &str) -> Result<ReproCase, ReproError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(REPRO_MAGIC) {
+        return Err(ReproError::BadMagic);
+    }
+    let mut name = None;
+    let mut seed = None;
+    let mut label = None;
+    let mut failure = None;
+    let mut note = String::new();
+    let mut saw_separator = false;
+    let mut body = String::new();
+    for line in lines.by_ref() {
+        if saw_separator {
+            body.push_str(line);
+            body.push('\n');
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed == "---" {
+            saw_separator = true;
+            continue;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Some(header) = trimmed.strip_prefix('#') else {
+            return Err(ReproError::BadHeader(format!("unexpected line before `---`: {trimmed}")));
+        };
+        let Some((key, value)) = header.split_once(':') else {
+            continue; // bare comment line
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "name" => name = Some(value.to_string()),
+            "seed" => {
+                seed =
+                    Some(value.parse::<u64>().map_err(|_| {
+                        ReproError::BadHeader(format!("seed is not a u64: {value}"))
+                    })?);
+            }
+            "label" => {
+                label = Some(
+                    KnownLabel::parse(value)
+                        .ok_or_else(|| ReproError::BadHeader(format!("unknown label: {value}")))?,
+                );
+            }
+            "failure" => {
+                failure = Some(FailureKind::parse(value).ok_or_else(|| {
+                    ReproError::BadHeader(format!("unknown failure kind: {value}"))
+                })?);
+            }
+            "note" => note = value.to_string(),
+            _ => {} // forward-compatible: ignore unknown headers
+        }
+    }
+    if !saw_separator {
+        return Err(ReproError::MissingSeparator);
+    }
+    let program = parse_program(&body).map_err(ReproError::Parse)?;
+    Ok(ReproCase {
+        name: name.ok_or_else(|| ReproError::BadHeader("missing name".to_string()))?,
+        seed: seed.ok_or_else(|| ReproError::BadHeader("missing seed".to_string()))?,
+        label: label.ok_or_else(|| ReproError::BadHeader("missing label".to_string()))?,
+        failure,
+        note,
+        program,
+    })
+}
+
+/// Loads every `.rt` repro file in `dir`, sorted by file name so replay
+/// order (and therefore test output) is stable across platforms.
+///
+/// # Errors
+///
+/// Returns the offending file name alongside the first [`ReproError`].
+pub fn load_dir(dir: &Path) -> Result<Vec<ReproCase>, (String, ReproError)> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| (dir.display().to_string(), ReproError::Io(e)))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rt"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::with_capacity(paths.len());
+    for path in paths {
+        let display = path.display().to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| (display.clone(), ReproError::Io(e)))?;
+        cases.push(parse_repro(&text).map_err(|e| (display, e))?);
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let program = parse_program("x := 1; while x >= 0 do x := x + 1; od").unwrap();
+        let case = ReproCase {
+            name: "demo".to_string(),
+            seed: 7,
+            label: KnownLabel::NonTerminating,
+            failure: Some(FailureKind::VerdictMismatch),
+            note: "hand-written".to_string(),
+            program,
+        };
+        let text = render_repro(&case);
+        let back = parse_repro(&text).unwrap();
+        assert_eq!(back.name, case.name);
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back.label, case.label);
+        assert_eq!(back.failure, case.failure);
+        assert_eq!(back.note, case.note);
+        assert_eq!(back.program, case.program);
+        // Idempotent: rendering the parsed case reproduces the same bytes.
+        assert_eq!(render_repro(&back), text);
+    }
+
+    #[test]
+    fn optional_headers_can_be_omitted() {
+        let text =
+            "# revterm-fuzzgen repro v1\n# name: pin\n# seed: 0\n# label: unknown\n---\nskip;\n";
+        let case = parse_repro(text).unwrap();
+        assert_eq!(case.failure, None);
+        assert!(case.note.is_empty());
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        assert!(matches!(parse_repro("skip;"), Err(ReproError::BadMagic)));
+        assert!(matches!(
+            parse_repro(
+                "# revterm-fuzzgen repro v1\n# name: x\n# seed: 1\n# label: unknown\nskip;"
+            ),
+            Err(ReproError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_repro(
+                "# revterm-fuzzgen repro v1\n# name: x\n# seed: 1\n# label: bogus\n---\nskip;"
+            ),
+            Err(ReproError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_repro("# revterm-fuzzgen repro v1\n# seed: 1\n# label: unknown\n---\nskip;"),
+            Err(ReproError::BadHeader(_))
+        ));
+    }
+}

@@ -1,0 +1,439 @@
+//! Greedy test-case minimization.
+//!
+//! # Shrinker contract
+//!
+//! [`shrink`] takes a program and a *failure predicate* and returns a
+//! (usually much smaller) program on which the predicate still holds.  The
+//! predicate is re-evaluated after **every** candidate edit; an edit is kept
+//! only if the failure persists, so the result fails for the same observable
+//! reason as the input — nothing else about the input is preserved.  In
+//! particular, a predicate that consults a by-construction label should be
+//! anchored on *re-provable* facts (e.g. "the prover still emits a validated
+//! certificate", "the ranking baseline still proves termination") rather
+//! than on the label alone, because edits are free to change semantics.
+//!
+//! Candidates are tried in a deterministic order, coarsest first: delete a
+//! preamble entry or a statement, hoist a loop/branch body over its wrapper,
+//! simplify a guard (`True`, drop a conjunct/disjunct, strip a negation),
+//! halve or zero a constant, eliminate a variable (substitute `0` for every
+//! read and drop its assignments).  Every accepted edit strictly decreases
+//! the lexicographic measure (statement + AST node count, distinct
+//! variables, total constant magnitude), so the descent terminates; the
+//! `max_steps` cap is a safety net on the number of *accepted* edits, not a
+//! tuning knob.
+//!
+//! Candidates are kept canonical (see [`crate::generate::canonicalize`]) and
+//! negated constants folded, so the result round-trips through
+//! `pretty_print` → `parse` unchanged and can be written to a repro file
+//! verbatim.
+
+use crate::generate::canonicalize;
+use revterm_lang::{analyze, BoolExpr, Expr, Program, Stmt};
+use revterm_num::Int;
+
+/// Minimizes `program` while `fails` keeps returning `true`.
+///
+/// Returns the canonicalized input unchanged if the predicate does not hold
+/// on it (there is nothing to preserve in that case).  See the module docs
+/// for the full contract.
+pub fn shrink<F>(program: &Program, max_steps: usize, mut fails: F) -> Program
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut current = normalize(canonicalize(program.clone()));
+    if !fails(&current) {
+        return current;
+    }
+    let mut accepted = 0usize;
+    'outer: while accepted < max_steps {
+        for candidate in candidates(&current) {
+            let candidate = normalize(canonicalize(candidate));
+            if candidate == current
+                || analyze(&candidate).is_err()
+                || revterm_ts::lower(&candidate).is_err()
+            {
+                continue;
+            }
+            if fails(&candidate) {
+                current = candidate;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// All one-edit variants of `program`, coarsest edits first.
+fn candidates(program: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // Preamble deletions.
+    for i in 0..program.preamble.len() {
+        let mut p = program.clone();
+        p.preamble.remove(i);
+        out.push(p);
+    }
+    // Statement deletions.
+    for body in edit_one(&program.body, &|_| vec![Vec::new()]) {
+        out.push(with_body(program, body));
+    }
+    // Block hoists: the wrapper (and its guard) goes, the children stay.
+    for body in edit_one(&program.body, &|s| match s {
+        Stmt::If(_, t, e) => {
+            let mut merged = t.clone();
+            merged.extend(e.iter().cloned());
+            vec![merged]
+        }
+        Stmt::While(_, b) => vec![b.clone()],
+        _ => Vec::new(),
+    }) {
+        out.push(with_body(program, body));
+    }
+    // Guard simplifications.
+    for body in edit_one(&program.body, &|s| match s {
+        Stmt::While(g, b) => {
+            simpler_guards(g).into_iter().map(|g2| vec![Stmt::While(g2, b.clone())]).collect()
+        }
+        Stmt::If(g, t, e) if *g != BoolExpr::Nondet => simpler_guards(g)
+            .into_iter()
+            .map(|g2| vec![Stmt::If(g2, t.clone(), e.clone())])
+            .collect(),
+        Stmt::Assume(g) => simpler_guards(g).into_iter().map(|g2| vec![Stmt::Assume(g2)]).collect(),
+        _ => Vec::new(),
+    }) {
+        out.push(with_body(program, body));
+    }
+    // Constant reductions, preamble first.
+    for (i, (x, e)) in program.preamble.iter().enumerate() {
+        for e2 in smaller_exprs(e) {
+            let mut p = program.clone();
+            p.preamble[i] = (x.clone(), e2);
+            out.push(p);
+        }
+    }
+    for body in edit_one(&program.body, &|s| match s {
+        Stmt::Assign(x, e) => {
+            smaller_exprs(e).into_iter().map(|e2| vec![Stmt::Assign(x.clone(), e2)]).collect()
+        }
+        Stmt::While(g, b) => {
+            smaller_guard_consts(g).into_iter().map(|g2| vec![Stmt::While(g2, b.clone())]).collect()
+        }
+        Stmt::If(g, t, e) => smaller_guard_consts(g)
+            .into_iter()
+            .map(|g2| vec![Stmt::If(g2, t.clone(), e.clone())])
+            .collect(),
+        Stmt::Assume(g) => {
+            smaller_guard_consts(g).into_iter().map(|g2| vec![Stmt::Assume(g2)]).collect()
+        }
+        _ => Vec::new(),
+    }) {
+        out.push(with_body(program, body));
+    }
+    // Variable eliminations.
+    for var in program.variables() {
+        out.push(eliminate_var(program, &var));
+    }
+    out
+}
+
+fn with_body(program: &Program, body: Vec<Stmt>) -> Program {
+    Program { preamble: program.preamble.clone(), body, name: program.name.clone() }
+}
+
+/// All blocks obtained by applying `edit` to exactly one statement at any
+/// depth.  `edit` maps a statement to its replacement sequences (empty =
+/// no direct edit at that node).
+fn edit_one(stmts: &[Stmt], edit: &dyn Fn(&Stmt) -> Vec<Vec<Stmt>>) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for (i, s) in stmts.iter().enumerate() {
+        for repl in edit(s) {
+            let mut v = stmts.to_vec();
+            v.splice(i..=i, repl);
+            out.push(v);
+        }
+        match s {
+            Stmt::If(c, t, e) => {
+                for tv in edit_one(t, edit) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::If(c.clone(), tv, e.clone());
+                    out.push(v);
+                }
+                for ev in edit_one(e, edit) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::If(c.clone(), t.clone(), ev);
+                    out.push(v);
+                }
+            }
+            Stmt::While(c, b) => {
+                for bv in edit_one(b, edit) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::While(c.clone(), bv);
+                    out.push(v);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Structurally smaller replacements for a guard.
+fn simpler_guards(g: &BoolExpr) -> Vec<BoolExpr> {
+    let mut out = Vec::new();
+    match g {
+        BoolExpr::True | BoolExpr::False | BoolExpr::Nondet => {}
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            out.push(BoolExpr::True);
+        }
+        BoolExpr::Not(a) => {
+            out.push((**a).clone());
+            out.push(BoolExpr::True);
+        }
+        BoolExpr::Cmp(..) => out.push(BoolExpr::True),
+    }
+    out
+}
+
+/// Expression variants with exactly one constant made smaller (zeroed or
+/// halved towards zero).
+fn smaller_exprs(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Var(_) => {}
+        Expr::Const(v) => {
+            if !v.is_zero() {
+                out.push(Expr::Const(Int::zero()));
+                let half = v.div_rem(&Int::from(2)).0;
+                if half != *v && !half.is_zero() {
+                    out.push(Expr::Const(half));
+                }
+            }
+        }
+        Expr::Neg(a) => {
+            out.extend(smaller_exprs(a).into_iter().map(|a2| Expr::Neg(Box::new(a2))));
+        }
+        Expr::Bin(op, a, b) => {
+            out.extend(
+                smaller_exprs(a).into_iter().map(|a2| Expr::Bin(*op, Box::new(a2), b.clone())),
+            );
+            out.extend(
+                smaller_exprs(b).into_iter().map(|b2| Expr::Bin(*op, a.clone(), Box::new(b2))),
+            );
+        }
+    }
+    out
+}
+
+/// Guard variants with exactly one embedded constant made smaller.
+fn smaller_guard_consts(g: &BoolExpr) -> Vec<BoolExpr> {
+    let mut out = Vec::new();
+    match g {
+        BoolExpr::True | BoolExpr::False | BoolExpr::Nondet => {}
+        BoolExpr::Cmp(op, a, b) => {
+            out.extend(
+                smaller_exprs(a).into_iter().map(|a2| BoolExpr::Cmp(*op, Box::new(a2), b.clone())),
+            );
+            out.extend(
+                smaller_exprs(b).into_iter().map(|b2| BoolExpr::Cmp(*op, a.clone(), Box::new(b2))),
+            );
+        }
+        BoolExpr::And(a, b) => {
+            out.extend(
+                smaller_guard_consts(a)
+                    .into_iter()
+                    .map(|a2| BoolExpr::And(Box::new(a2), b.clone())),
+            );
+            out.extend(
+                smaller_guard_consts(b)
+                    .into_iter()
+                    .map(|b2| BoolExpr::And(a.clone(), Box::new(b2))),
+            );
+        }
+        BoolExpr::Or(a, b) => {
+            out.extend(
+                smaller_guard_consts(a).into_iter().map(|a2| BoolExpr::Or(Box::new(a2), b.clone())),
+            );
+            out.extend(
+                smaller_guard_consts(b).into_iter().map(|b2| BoolExpr::Or(a.clone(), Box::new(b2))),
+            );
+        }
+        BoolExpr::Not(a) => {
+            out.extend(smaller_guard_consts(a).into_iter().map(|a2| BoolExpr::Not(Box::new(a2))));
+        }
+    }
+    out
+}
+
+/// Removes a variable: every read becomes `0`, every assignment to it (and
+/// its preamble entry) is dropped.
+fn eliminate_var(program: &Program, var: &str) -> Program {
+    fn subst_expr(e: &Expr, var: &str) -> Expr {
+        match e {
+            Expr::Var(x) if x == var => Expr::Const(Int::zero()),
+            Expr::Var(_) | Expr::Const(_) => e.clone(),
+            Expr::Neg(a) => Expr::Neg(Box::new(subst_expr(a, var))),
+            Expr::Bin(op, a, b) => {
+                Expr::Bin(*op, Box::new(subst_expr(a, var)), Box::new(subst_expr(b, var)))
+            }
+        }
+    }
+    fn subst_bool(b: &BoolExpr, var: &str) -> BoolExpr {
+        match b {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Nondet => b.clone(),
+            BoolExpr::Cmp(op, x, y) => {
+                BoolExpr::Cmp(*op, Box::new(subst_expr(x, var)), Box::new(subst_expr(y, var)))
+            }
+            BoolExpr::And(x, y) => {
+                BoolExpr::And(Box::new(subst_bool(x, var)), Box::new(subst_bool(y, var)))
+            }
+            BoolExpr::Or(x, y) => {
+                BoolExpr::Or(Box::new(subst_bool(x, var)), Box::new(subst_bool(y, var)))
+            }
+            BoolExpr::Not(x) => BoolExpr::Not(Box::new(subst_bool(x, var))),
+        }
+    }
+    fn subst_block(stmts: &[Stmt], var: &str) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Assign(x, _) | Stmt::NdetAssign(x) if x == var => {}
+                Stmt::Assign(x, e) => out.push(Stmt::Assign(x.clone(), subst_expr(e, var))),
+                Stmt::NdetAssign(x) => out.push(Stmt::NdetAssign(x.clone())),
+                Stmt::Skip => out.push(Stmt::Skip),
+                Stmt::Assume(c) => out.push(Stmt::Assume(subst_bool(c, var))),
+                Stmt::If(c, t, e) => {
+                    out.push(Stmt::If(subst_bool(c, var), subst_block(t, var), subst_block(e, var)))
+                }
+                Stmt::While(c, b) => out.push(Stmt::While(subst_bool(c, var), subst_block(b, var))),
+            }
+        }
+        out
+    }
+    Program {
+        preamble: program
+            .preamble
+            .iter()
+            .filter(|(x, _)| x != var)
+            .map(|(x, e)| (x.clone(), subst_expr(e, var)))
+            .collect(),
+        body: subst_block(&program.body, var),
+        name: program.name.clone(),
+    }
+}
+
+/// Folds `Neg(Const(v))` into `Const(-v)` everywhere, mirroring what the
+/// parser produces (so shrunk programs stay print/parse round-trippable).
+pub fn normalize(mut program: Program) -> Program {
+    fn norm_expr(e: &Expr) -> Expr {
+        match e {
+            Expr::Var(_) | Expr::Const(_) => e.clone(),
+            Expr::Neg(a) => match norm_expr(a) {
+                Expr::Const(v) => Expr::Const(-v),
+                inner => Expr::Neg(Box::new(inner)),
+            },
+            Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(norm_expr(a)), Box::new(norm_expr(b))),
+        }
+    }
+    fn norm_bool(b: &BoolExpr) -> BoolExpr {
+        match b {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Nondet => b.clone(),
+            BoolExpr::Cmp(op, x, y) => {
+                BoolExpr::Cmp(*op, Box::new(norm_expr(x)), Box::new(norm_expr(y)))
+            }
+            BoolExpr::And(x, y) => BoolExpr::And(Box::new(norm_bool(x)), Box::new(norm_bool(y))),
+            BoolExpr::Or(x, y) => BoolExpr::Or(Box::new(norm_bool(x)), Box::new(norm_bool(y))),
+            BoolExpr::Not(x) => BoolExpr::Not(Box::new(norm_bool(x))),
+        }
+    }
+    fn norm_block(stmts: &[Stmt]) -> Vec<Stmt> {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign(x, e) => Stmt::Assign(x.clone(), norm_expr(e)),
+                Stmt::NdetAssign(x) => Stmt::NdetAssign(x.clone()),
+                Stmt::Skip => Stmt::Skip,
+                Stmt::Assume(c) => Stmt::Assume(norm_bool(c)),
+                Stmt::If(c, t, e) => Stmt::If(norm_bool(c), norm_block(t), norm_block(e)),
+                Stmt::While(c, b) => Stmt::While(norm_bool(c), norm_block(b)),
+            })
+            .collect()
+    }
+    program.preamble = program.preamble.iter().map(|(x, e)| (x.clone(), norm_expr(e))).collect();
+    program.body = norm_block(&program.body);
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revterm_lang::{parse_program, pretty_print};
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // Predicate: "contains a while loop whose guard mentions w".  The
+        // shrinker should strip everything else.
+        let src = "a := 3; b := a + 2; w := 1; \
+                   if a >= b then skip; else b := b - 1; fi \
+                   while w >= 1 do w := w + 1; a := a - 2; od \
+                   skip; skip;";
+        let program = parse_program(src).unwrap();
+        fn has_w_loop(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::While(g, b) => g.variables().contains(&"w".to_string()) || has_w_loop(b),
+                Stmt::If(_, t, e) => has_w_loop(t) || has_w_loop(e),
+                _ => false,
+            })
+        }
+        let small = shrink(&program, 1000, |p| has_w_loop(&p.body));
+        assert!(has_w_loop(&small.body));
+        // Everything except the loop (and whatever keeps it parseable) goes.
+        assert!(small.preamble.len() + small.body.len() <= 2, "{small:?}");
+        let printed = pretty_print(&small);
+        assert_eq!(parse_program(&printed).unwrap(), small);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let program = parse_program("x := 1; while x >= 0 do x := x - 1; od").unwrap();
+        let out = shrink(&program, 100, |_| false);
+        assert_eq!(out, program);
+    }
+
+    #[test]
+    fn constants_shrink_toward_zero() {
+        let program = parse_program("x := 40; while x >= 17 do x := x - 1; od").unwrap();
+        // Keep: program still has a loop with a comparison.  Constants are
+        // free to collapse.
+        let small = shrink(&program, 1000, |p| p.body.iter().any(|s| matches!(s, Stmt::While(..))));
+        let printed = pretty_print(&small);
+        assert!(!printed.contains("40") && !printed.contains("17"), "{printed}");
+    }
+
+    #[test]
+    fn var_elimination_keeps_programs_roundtrippable() {
+        let program = parse_program("x := 5; while x >= 0 do y := - x; x := x - 1; od").unwrap();
+        let gone = eliminate_var(&program, "x");
+        let gone = normalize(canonicalize(gone));
+        assert!(!gone.variables().contains(&"x".to_string()));
+        let printed = pretty_print(&gone);
+        assert_eq!(parse_program(&printed).unwrap(), gone);
+    }
+
+    #[test]
+    fn shrinking_generated_failures_terminates_and_stays_canonical() {
+        use crate::generate::{generate_batch, GenConfig};
+        // A size-based pseudo-failure exercises every candidate class.
+        for g in generate_batch(5, 30, &GenConfig::default()) {
+            if g.program.body.is_empty() {
+                continue;
+            }
+            let small = shrink(&g.program, 10_000, |p| !p.body.is_empty());
+            assert!(!small.body.is_empty());
+            let printed = pretty_print(&small);
+            assert_eq!(parse_program(&printed).unwrap(), small, "seed {}", g.seed);
+        }
+    }
+}

@@ -7,6 +7,42 @@ use revterm_poly::Poly;
 use revterm_solver::{BasisCache, EntailmentCache, EntailmentOptions};
 use revterm_ts::{Assertion, Loc, PredicateMap, PropPredicate, TransitionSystem};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// A cooperative work bound for one synthesis call.
+///
+/// A single Houdini run over a large candidate pool can issue hundreds of
+/// thousands of entailment queries; callers that operate under a deadline or
+/// an entailment-call cap (the prover's `Budget`) pass one of these so the
+/// fixpoint loop can stop *between* transition batches instead of only after
+/// the fixpoint converges.  Both limits are optional; [`unlimited`] bounds
+/// nothing.
+///
+/// [`unlimited`]: SynthesisBudget::unlimited
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthesisBudget {
+    /// Wall-clock cutoff.
+    pub deadline: Option<Instant>,
+    /// Absolute entailment-lookup count (on the shared [`EntailmentCache`])
+    /// at which to stop — i.e. `lookups_at_arm_time + cap`, not a delta.
+    pub entail_call_stop: Option<u64>,
+}
+
+impl SynthesisBudget {
+    /// A budget that never fires.
+    pub fn unlimited() -> SynthesisBudget {
+        SynthesisBudget::default()
+    }
+
+    /// `true` once either limit is hit (checked against the entailment
+    /// cache's current lookup counter).
+    pub fn exhausted(&self, entail_lookups: u64) -> bool {
+        if self.entail_call_stop.is_some_and(|stop| entail_lookups >= stop) {
+            return true;
+        }
+        self.deadline.is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
 
 /// Options controlling [`synthesize_invariant`].
 #[derive(Debug, Clone)]
@@ -84,6 +120,34 @@ pub fn synthesize_invariant_cached(
     entail: &mut EntailmentCache,
     lp_basis: &mut BasisCache,
 ) -> PredicateMap {
+    synthesize_invariant_budgeted(
+        ts,
+        samples,
+        options,
+        pool,
+        entail,
+        lp_basis,
+        &SynthesisBudget::unlimited(),
+    )
+    .expect("an unlimited synthesis budget cannot be exhausted")
+}
+
+/// [`synthesize_invariant_cached`] under a [`SynthesisBudget`].
+///
+/// Returns `None` as soon as the budget fires (polled before the initiation
+/// pruning and between Houdini transition batches — the overrun is bounded
+/// by one batch).  A `None` result is a *cut-short* computation, not a
+/// fixpoint: callers must not cache it or treat it as an invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_invariant_budgeted(
+    ts: &TransitionSystem,
+    samples: &SampleSet,
+    options: &SynthesisOptions,
+    pool: &mut PoolCache,
+    entail: &mut EntailmentCache,
+    lp_basis: &mut BasisCache,
+    budget: &SynthesisBudget,
+) -> Option<PredicateMap> {
     let mut atom_sets: Vec<Vec<Poly>> = ts
         .locations()
         .map(|loc| {
@@ -104,6 +168,9 @@ pub fn synthesize_invariant_cached(
         && options.entailment.max_product_degree >= 1;
 
     // Initiation pruning: atoms at ℓ_init must follow from Θ_init.
+    if budget.exhausted(entail.lookups) {
+        return None;
+    }
     if options.require_initiation {
         let theta: Arc<[Poly]> = ts.init_assertion().atoms().to_vec().into();
         let theta_closure = if fast { Some(close_premises(theta.iter())) } else { None };
@@ -136,6 +203,9 @@ pub fn synthesize_invariant_cached(
     for _ in 0..options.max_iterations {
         let mut changed = false;
         for t in ts.transitions() {
+            if budget.exhausted(entail.lookups) {
+                return None;
+            }
             if skip(t.source) || skip(t.target) {
                 continue;
             }
@@ -228,7 +298,7 @@ pub fn synthesize_invariant_cached(
         },
         "houdini result must be inductive"
     );
-    map
+    Some(map)
 }
 
 fn adaptive(premises: &[Poly], conclusion: &Poly, base: &EntailmentOptions) -> EntailmentOptions {

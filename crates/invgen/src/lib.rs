@@ -35,6 +35,7 @@ pub use atoms::{
     TemplateParams,
 };
 pub use houdini::{
-    invariant_implies_at, synthesize_invariant, synthesize_invariant_cached, SynthesisOptions,
+    invariant_implies_at, synthesize_invariant, synthesize_invariant_budgeted,
+    synthesize_invariant_cached, SynthesisBudget, SynthesisOptions,
 };
 pub use verify::{initiation_holds, is_inductive, predicate_entails, InductivenessViolation};

@@ -287,8 +287,17 @@ impl<'a> Parser<'a> {
             Some(TokenKind::Ident(name)) => Ok(Expr::Var(name)),
             Some(TokenKind::Int(v)) => Ok(Expr::Const(v)),
             Some(TokenKind::Minus) => {
-                let inner = self.parse_factor()?;
-                Ok(Expr::Neg(Box::new(inner)))
+                // A minus directly in front of an integer literal folds into a
+                // negative constant: `Const(-1)` pretty-prints as `-1`, so the
+                // fold is what makes print → parse the identity on constants
+                // (`Neg(Const(1))` would otherwise come back instead).
+                if let Some(TokenKind::Int(v)) = self.peek().cloned() {
+                    self.advance();
+                    Ok(Expr::Const(-v))
+                } else {
+                    let inner = self.parse_factor()?;
+                    Ok(Expr::Neg(Box::new(inner)))
+                }
             }
             Some(TokenKind::LParen) => {
                 let inner = self.parse_expr()?;
@@ -375,7 +384,7 @@ mod tests {
         match &prog.body[0] {
             Stmt::While(_, body) => match &body[0] {
                 Stmt::If(c, t, e) => {
-                    assert_eq!(c.to_string(), "u <= (-1)");
+                    assert_eq!(c.to_string(), "u <= -1");
                     assert_eq!(t.len(), 1);
                     assert_eq!(e.len(), 1);
                     assert!(matches!(e[0], Stmt::If(..)));
@@ -433,6 +442,20 @@ mod tests {
         assert!(parse(&lex("x := 1; od").unwrap()).is_err()); // trailing od
         let err = parse(&lex("while x >= 0 do\n x := ;\nod").unwrap()).unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn negative_literals_fold_into_constants() {
+        let prog = parse_src("x := -5; y := - y + 1; z := x - -3;");
+        assert_eq!(prog.preamble.len(), 3);
+        assert_eq!(prog.preamble[0].1, Expr::int(-5));
+        // Unary minus on a non-literal stays `Neg`.
+        assert_eq!(prog.preamble[1].1.to_string(), "((-y) + 1)");
+        // Binary minus followed by a negative literal: `x - (-3)`.
+        assert_eq!(
+            prog.preamble[2].1,
+            Expr::Bin(BinOp::Sub, Box::new(Expr::var("x")), Box::new(Expr::int(-3)))
+        );
     }
 
     #[test]

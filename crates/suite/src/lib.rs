@@ -382,6 +382,32 @@ pub fn generate_aperiodic(factor: u32) -> Benchmark {
     }
 }
 
+/// Generates a family of fuzzer-derived benchmarks: `count` seeded random
+/// programs from [`revterm_fuzzgen`], keeping their known-by-construction
+/// labels as ground truth. Deliberately *not* part of [`full_suite`] — the
+/// fuzz stream is unbounded and its difficulty profile drifts with the
+/// generator, so the scored table stays pinned to the stable corpus; use
+/// this family for scaling runs and scheduler-stats experiments.
+pub fn fuzz_family(master_seed: u64, count: usize) -> Vec<Benchmark> {
+    let cfg = revterm_fuzzgen::GenConfig::default();
+    revterm_fuzzgen::generate_batch(master_seed, count, &cfg)
+        .into_iter()
+        .map(|g| {
+            let expected = match g.label {
+                revterm_fuzzgen::KnownLabel::NonTerminating => Expected::NonTerminating,
+                revterm_fuzzgen::KnownLabel::Terminating => Expected::Terminating,
+                revterm_fuzzgen::KnownLabel::Unknown => Expected::Unknown,
+            };
+            Benchmark {
+                name: Box::leak(format!("fuzz_{:016x}", g.seed).into_boxed_str()),
+                family: Box::leak(format!("fuzz-{}", g.family).into_boxed_str()),
+                expected,
+                source: g.source,
+            }
+        })
+        .collect()
+}
+
 /// The full suite used by the table harness: the curated corpus plus a few
 /// generated instances of each family.
 pub fn full_suite() -> Vec<Benchmark> {
@@ -437,6 +463,24 @@ mod tests {
                 b.name
             );
         }
+    }
+
+    #[test]
+    fn fuzz_family_parses_lowers_and_is_deterministic() {
+        let batch = fuzz_family(99, 40);
+        assert_eq!(batch.len(), 40);
+        for b in &batch {
+            let ts = b.transition_system();
+            assert!(ts.num_locs() >= 1, "{} has no locations", b.name);
+        }
+        // Labels come from construction, so both decided classes must show
+        // up in a batch of this size, and the stream replays from its seed.
+        let s = stats(&batch);
+        assert!(s.non_terminating > 0 && s.terminating > 0, "{s:?}");
+        let again = fuzz_family(99, 40);
+        let sources: Vec<&String> = batch.iter().map(|b| &b.source).collect();
+        let sources_again: Vec<&String> = again.iter().map(|b| &b.source).collect();
+        assert_eq!(sources, sources_again);
     }
 
     #[test]

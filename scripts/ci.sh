@@ -80,6 +80,17 @@ if $run_bench_smoke; then
     echo "==> serve smoke (serve_smoke)"
     cargo run --release -q -p revterm-bench --bin serve_smoke \
         | tee target/ci-artifacts/serve-smoke.json
+
+    # Fuzz smoke: a fixed-seed batch of 500 generated labelled programs,
+    # each cross-checked by the four-oracle differential harness (baseline
+    # claim table, certificate re-validation, absint on/off digests, the
+    # three LP engines). Exits non-zero on any verdict mismatch, validation
+    # failure or digest divergence, or if either known-label family is
+    # missing from the batch — failing programs are auto-minimized by the
+    # shrinker and embedded in the JSON artifact.
+    echo "==> fuzz smoke (fuzz_drive 500)"
+    cargo run --release -q -p revterm-bench --bin fuzz_drive 500 \
+        | tee target/ci-artifacts/fuzz-smoke.json
 fi
 
 echo "==> CI gate passed"
